@@ -1,0 +1,234 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at a reduced scale (one per artifact; see DESIGN.md §3 for the index),
+// plus ablation benches for the design choices called out in DESIGN.md §5.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Bench output measures the cost of regenerating each artifact; the
+// artifact values themselves are printed by cmd/p3qsim.
+package p3q_test
+
+import (
+	"testing"
+
+	"p3q"
+	"p3q/internal/analysis"
+	"p3q/internal/core"
+	"p3q/internal/experiments"
+	"p3q/internal/topk"
+	"p3q/internal/trace"
+)
+
+// benchCfg is the reduced scale used by the artifact benches.
+func benchCfg() experiments.Config {
+	return experiments.Config{
+		Users:     120,
+		S:         20,
+		K:         10,
+		MeanItems: 18,
+		Queries:   25,
+		Cycles:    8,
+		Seed:      99,
+	}
+}
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	r, ok := experiments.Lookup(name)
+	if !ok {
+		b.Fatalf("experiment %s not registered", name)
+	}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := r.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", name)
+		}
+	}
+}
+
+func BenchmarkTable1StorageDistribution(b *testing.B) { benchExperiment(b, "table1") }
+func BenchmarkFig2Convergence(b *testing.B)           { benchExperiment(b, "fig2") }
+func BenchmarkFig3AlphaSweep(b *testing.B)            { benchExperiment(b, "fig3") }
+func BenchmarkFig4StorageSweep(b *testing.B)          { benchExperiment(b, "fig4") }
+func BenchmarkFig5Storage(b *testing.B)               { benchExperiment(b, "fig5") }
+func BenchmarkFig6QueryBandwidth(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkTable2ProfileChanges(b *testing.B)      { benchExperiment(b, "table2") }
+func BenchmarkFig7AURLazy(b *testing.B)               { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bAURHetero(b *testing.B)            { benchExperiment(b, "fig7b") }
+func BenchmarkFig8UsersReached(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkFig9AUREager(b *testing.B)              { benchExperiment(b, "fig9") }
+func BenchmarkFig10NeighbourDiscovery(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11Churn(b *testing.B)                { benchExperiment(b, "fig11a") }
+func BenchmarkFig11cIncompleteQueries(b *testing.B)   { benchExperiment(b, "fig11c") }
+func BenchmarkTheoryRAlpha(b *testing.B)              { benchExperiment(b, "theory") }
+func BenchmarkBandwidthSummary(b *testing.B)          { benchExperiment(b, "bandwidth") }
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// benchWorld builds a seeded engine world for the ablations.
+func benchWorld(b *testing.B, mutate func(*core.Config)) (*p3q.Dataset, *p3q.Engine) {
+	b.Helper()
+	params := p3q.DefaultTraceParams(120)
+	params.MeanItems = 18
+	params.Seed = 99
+	ds := p3q.GenerateTrace(params)
+	cfg := p3q.DefaultConfig()
+	cfg.S, cfg.C = 20, 5
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	// Digest geometry proportional to the reduced profile sizes (the
+	// paper's 20 Kbit digests are sized for ~249-item profiles).
+	cfg.BloomBits, cfg.BloomHashes = 2048, 6
+	e := p3q.NewEngine(ds, cfg)
+	e.SeedIdealNetworks(p3q.IdealNetworks(ds, cfg.S))
+	return ds, e
+}
+
+// BenchmarkAblationThreeStepExchange quantifies the 3-step profile exchange
+// of Algorithm 1 against naively shipping every advertised profile: it runs
+// lazy cycles and reports actual vs hypothetical bytes per cycle.
+func BenchmarkAblationThreeStepExchange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, e := benchWorld(b, nil)
+		e.RunLazy(5)
+		actual := e.Network().Total().TotalBytes()
+		naive := e.NaiveExchangeBytes()
+		if naive == 0 {
+			b.Fatal("no exchanges happened")
+		}
+		b.ReportMetric(float64(actual)/float64(e.Users())/5, "actualB/user/cycle")
+		b.ReportMetric(float64(naive)/float64(e.Users())/5, "naiveB/user/cycle")
+	}
+}
+
+// BenchmarkAblationBloomDigest compares the Bloom digest against an exact
+// item-list digest at the paper's profile scale (mean 249 items per user):
+// the 20 Kbit filter undercuts exact 16-byte item hashes there, while small
+// profiles would be cheaper to ship exactly — the design choice only pays
+// off for realistic tagging histories.
+func BenchmarkAblationBloomDigest(b *testing.B) {
+	params := p3q.DefaultTraceParams(300)
+	params.MeanItems = 249 // the crawl's mean (§3.3.1)
+	params.Seed = 99
+	ds := p3q.GenerateTrace(params)
+	cfg := p3q.DefaultConfig()
+	bloomBytes := cfg.BloomBits / 8
+	for i := 0; i < b.N; i++ {
+		exact, bloomTotal := 0, 0
+		for _, p := range ds.Profiles {
+			exact += p.NumItems() * 16 // exact item hashes
+			bloomTotal += bloomBytes
+		}
+		b.ReportMetric(float64(exact)/float64(ds.Users()), "exactB/digest")
+		b.ReportMetric(float64(bloomTotal)/float64(ds.Users()), "bloomB/digest")
+	}
+}
+
+// BenchmarkAblationEagerBias compares the eager destination bias (prefer
+// personal-network members, Algorithm 3 lines 4-6) against uniform random
+// destinations: completion cycles per query.
+func BenchmarkAblationEagerBias(b *testing.B) {
+	run := func(disable bool) float64 {
+		ds, e := benchWorld(b, func(cfg *core.Config) { cfg.DisableEagerBias = disable })
+		queries := p3q.GenerateQueries(ds, 3)[:20]
+		for _, q := range queries {
+			e.IssueQuery(q)
+		}
+		e.RunEager(60)
+		total := 0.0
+		for _, qr := range e.Queries() {
+			total += float64(qr.Cycles())
+		}
+		return total / float64(len(queries))
+	}
+	for i := 0; i < b.N; i++ {
+		b.ReportMetric(run(false), "cycles/query(biased)")
+		b.ReportMetric(run(true), "cycles/query(random)")
+	}
+}
+
+// BenchmarkAblationNRAIncremental compares the incremental NRA of
+// Algorithm 4 against recomputing the exact aggregation from scratch every
+// cycle, on the same stream of partial result lists.
+func BenchmarkAblationNRAIncremental(b *testing.B) {
+	// Build a realistic stream of partial lists from a real query.
+	ds, e := benchWorld(b, nil)
+	q, _ := p3q.QueryFor(ds, 0, 1)
+	qr := e.IssueQuery(q)
+	e.RunEager(60)
+	if !qr.Done() {
+		b.Fatal("query did not complete")
+	}
+	// Synthesize an equivalent batch stream.
+	var lists [][]topk.Entry
+	central := p3q.NewCentralized(ds, 20, 10)
+	for u := 0; u < 30; u++ {
+		entries := central.TopKOverNetwork(trace.Query{Querier: p3q.UserID(u), Tags: q.Tags}, nil)
+		if len(entries) > 0 {
+			lists = append(lists, entries)
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n := topk.NewNRA(10)
+			for _, l := range lists {
+				n.Run([][]topk.Entry{l})
+			}
+			// NRA's native cost metric: entries scanned before the early
+			// stop, out of the total available (the whole point of the
+			// algorithm is keeping this fraction below 1).
+			b.ReportMetric(float64(n.ScannedEntries()), "scanned")
+			b.ReportMetric(float64(n.TotalEntries()), "available")
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var acc [][]topk.Entry
+			scanned := 0
+			for _, l := range lists {
+				acc = append(acc, l)
+				topk.TopOf(topk.SumLists(acc), 10)
+				for _, a := range acc {
+					scanned += len(a)
+				}
+			}
+			b.ReportMetric(float64(scanned), "scanned")
+		}
+	})
+}
+
+// BenchmarkAnalysisRAlpha measures the closed-form evaluation itself.
+func BenchmarkAnalysisRAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, a := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1} {
+			analysis.RAlpha(a, 990, 10)
+		}
+	}
+}
+
+// BenchmarkEagerCycle measures the protocol's per-cycle cost with a live
+// query load.
+func BenchmarkEagerCycle(b *testing.B) {
+	ds, e := benchWorld(b, nil)
+	for _, q := range p3q.GenerateQueries(ds, 3)[:20] {
+		e.IssueQuery(q)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EagerCycle()
+	}
+}
+
+// BenchmarkLazyCycle measures the maintenance cost per lazy cycle.
+func BenchmarkLazyCycle(b *testing.B) {
+	_, e := benchWorld(b, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.LazyCycle()
+	}
+}

@@ -1,0 +1,135 @@
+// Command p3qsim regenerates the tables and figures of "Gossiping
+// Personalized Queries" (Bai et al., EDBT 2010) from this repository's
+// implementation of P3Q.
+//
+// Usage:
+//
+//	p3qsim -exp fig3                 # one experiment at the default scale
+//	p3qsim -exp all                  # the whole evaluation section
+//	p3qsim -exp list                 # list experiment ids
+//	p3qsim -exp fig2 -users 10000 -s 1000 -mean-items 249   # paper scale
+//	p3qsim -exp fig6 -csv            # machine-readable output
+//
+// Each experiment prints one table per paper artifact; EXPERIMENTS.md in
+// the repository root records paper-reported vs measured values.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"p3q/internal/experiments"
+	"p3q/internal/metrics"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "list", "experiment id, 'all', or 'list'")
+		users     = flag.Int("users", 0, "population size (0 = default)")
+		s         = flag.Int("s", 0, "personal network size (0 = default)")
+		k         = flag.Int("k", 0, "top-k size (0 = default)")
+		queries   = flag.Int("queries", 0, "queries per scenario (0 = default)")
+		cycles    = flag.Int("cycles", 0, "base cycle budget (0 = default)")
+		meanItems = flag.Float64("mean-items", 0, "mean items per user in the trace (0 = default)")
+		seed      = flag.Uint64("seed", 0, "random seed (0 = default)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outDir    = flag.String("out", "", "also write one CSV file per table into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *users > 0 {
+		cfg.Users = *users
+	}
+	if *s > 0 {
+		cfg.S = *s
+	}
+	if *k > 0 {
+		cfg.K = *k
+	}
+	if *queries > 0 {
+		cfg.Queries = *queries
+	}
+	if *cycles > 0 {
+		cfg.Cycles = *cycles
+	}
+	if *meanItems > 0 {
+		cfg.MeanItems = *meanItems
+	}
+	if *seed > 0 {
+		cfg.Seed = *seed
+	}
+
+	switch *exp {
+	case "list":
+		fmt.Println("available experiments:")
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-10s %s\n", r.Name, r.Paper)
+		}
+		return
+	case "all":
+		for _, r := range experiments.Registry() {
+			run(r, cfg, *csv, *outDir)
+		}
+		return
+	default:
+		r, ok := experiments.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "p3qsim: unknown experiment %q (try -exp list)\n", *exp)
+			os.Exit(2)
+		}
+		run(r, cfg, *csv, *outDir)
+	}
+}
+
+func run(r experiments.Runner, cfg experiments.Config, csv bool, outDir string) {
+	start := time.Now()
+	tables := r.Run(cfg)
+	elapsed := time.Since(start).Round(time.Millisecond)
+	for i, tb := range tables {
+		var err error
+		if csv {
+			fmt.Printf("# %s\n", tb.Title)
+			err = tb.CSV(os.Stdout)
+		} else {
+			err = tb.Fprint(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p3qsim: writing output: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		if outDir != "" {
+			if err := writeCSVFile(outDir, r.Name, i, len(tables), tb); err != nil {
+				fmt.Fprintf(os.Stderr, "p3qsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[%s: %d table(s) in %s, users=%d s=%d seed=%d]\n",
+		r.Name, len(tables), elapsed, cfg.Users, cfg.S, cfg.Seed)
+}
+
+// writeCSVFile stores one table as <dir>/<experiment>[_partN].csv for
+// plotting tools.
+func writeCSVFile(dir, name string, idx, total int, tb *metrics.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	filename := name + ".csv"
+	if total > 1 {
+		filename = fmt.Sprintf("%s_part%d.csv", name, idx+1)
+	}
+	f, err := os.Create(filepath.Join(dir, filename))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := fmt.Fprintf(f, "# %s\n", tb.Title); err != nil {
+		return err
+	}
+	return tb.CSV(f)
+}

@@ -1,0 +1,116 @@
+// Command p3qtrace generates, inspects and converts collaborative-tagging
+// traces in the binary format every tool in this repository consumes.
+//
+// Usage:
+//
+//	p3qtrace gen -users 10000 -mean-items 249 -out trace.p3q   # synthesize
+//	p3qtrace stats -in trace.p3q                               # marginals
+//	p3qtrace queries -in trace.p3q -n 5                        # sample queries
+//
+// A real delicious-style crawl can be converted once into this format (see
+// internal/trace's documented layout) and then drives every experiment via
+// the same loader.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"p3q/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "stats":
+		cmdStats(os.Args[2:])
+	case "queries":
+		cmdQueries(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `p3qtrace <command> [flags]
+
+commands:
+  gen      generate a synthetic trace and write it to -out
+  stats    print the marginals of the trace at -in
+  queries  print sample queries generated from the trace at -in`)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	users := fs.Int("users", 1000, "number of users")
+	meanItems := fs.Float64("mean-items", 0, "mean distinct items per user (0 = scaled default)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "trace.p3q", "output file")
+	fs.Parse(args)
+
+	p := trace.DefaultGenParams(*users)
+	if *meanItems > 0 {
+		p.MeanItems = *meanItems
+	}
+	p.Seed = *seed
+	ds := trace.Generate(p)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Save(f, ds); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %v\n", *out, ds)
+}
+
+func cmdStats(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "trace.p3q", "input file")
+	fs.Parse(args)
+	ds := load(*in)
+	fmt.Println(trace.ComputeStats(ds).String())
+}
+
+func cmdQueries(args []string) {
+	fs := flag.NewFlagSet("queries", flag.ExitOnError)
+	in := fs.String("in", "trace.p3q", "input file")
+	n := fs.Int("n", 5, "number of queries to print")
+	seed := fs.Uint64("seed", 1, "query generation seed")
+	fs.Parse(args)
+	ds := load(*in)
+	qs := trace.GenerateQueries(ds, *seed)
+	if *n > len(qs) {
+		*n = len(qs)
+	}
+	for _, q := range qs[:*n] {
+		fmt.Printf("user %d: item %d -> tags %v\n", q.Querier, q.Item, q.Tags)
+	}
+}
+
+func load(path string) *trace.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ds, err := trace.Load(f)
+	if err != nil {
+		fatal(fmt.Errorf("loading %s: %w", path, err))
+	}
+	return ds
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p3qtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a small collaborative tagging network, converge the
+// personal networks, issue one personalized top-k query and watch the eager
+// mode refine its results cycle by cycle until they match the centralized
+// reference.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"p3q"
+)
+
+func main() {
+	// A synthetic delicious-like trace: 300 users, community structure,
+	// long-tail item/tag popularity.
+	params := p3q.DefaultTraceParams(300)
+	params.MeanItems = 30
+	params.Seed = 2024
+	ds := p3q.GenerateTrace(params)
+	fmt.Println("trace:", p3q.TraceStatistics(ds).String())
+
+	// Protocol setup: personal networks of 40 neighbours, profiles of the
+	// 8 most similar stored locally, split parameter alpha = 0.5.
+	cfg := p3q.DefaultConfig()
+	cfg.S, cfg.C = 40, 8
+
+	// Start from converged personal networks (the offline oracle); the
+	// examples/mobile scenario shows organic convergence instead.
+	nets := p3q.IdealNetworks(ds, cfg.S)
+	engine := p3q.NewEngine(ds, cfg)
+	engine.SeedIdealNetworks(nets)
+
+	// One personalized query, generated the paper's way: an item of the
+	// user's profile and the tags she used on it.
+	querier := p3q.UserID(17)
+	q, ok := p3q.QueryFor(ds, querier, 7)
+	if !ok {
+		panic("querier has an empty profile")
+	}
+	fmt.Printf("\nuser %d queries with %d tags (from item %d)\n", q.Querier, len(q.Tags), q.Item)
+
+	reference := p3q.NewCentralizedWithNets(ds, nets, cfg.K)
+	want := reference.TopK(q)
+
+	run := engine.IssueQuery(q)
+	fmt.Printf("cycle %2d: recall %.2f  (local processing, %d/%d profiles)\n",
+		0, p3q.Recall(run.Results(), want), run.ProfilesUsed(), run.ProfilesNeeded())
+	for cycle := 1; !run.Done(); cycle++ {
+		engine.EagerCycle()
+		fmt.Printf("cycle %2d: recall %.2f  (%d/%d profiles, %d users reached)\n",
+			cycle, p3q.Recall(run.Results(), want),
+			run.ProfilesUsed(), run.ProfilesNeeded(), run.UsersReached())
+	}
+
+	fmt.Println("\nfinal top-k (item, relevance):")
+	for i, e := range run.Results() {
+		marker := ""
+		if e.Item == q.Item {
+			marker = "   <- the item the query was generated from"
+		}
+		fmt.Printf("  %2d. item %-6d score %d%s\n", i+1, e.Item, e.Score, marker)
+	}
+	b := run.Bytes()
+	fmt.Printf("\nquery traffic: %d B forwarded lists, %d B returned lists, %d B partial results\n",
+		b.Forwarded, b.Returned, b.PartialResults)
+}

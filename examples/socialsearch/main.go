@@ -1,0 +1,85 @@
+// Socialsearch: the paper's §1 motivation, reproduced end to end. The query
+// "matrix" is ambiguous — a computer scientist means the mathematical
+// notion, a Keanu Reeves fan means the movie. A centralized engine returns
+// the same ranking to everyone; P3Q personalizes the results through each
+// user's implicit social network, built purely from tagging behaviour.
+//
+// Run with: go run ./examples/socialsearch
+package main
+
+import (
+	"fmt"
+
+	"p3q"
+)
+
+func main() {
+	v := p3q.NewVocabulary()
+	matrix := v.Tag("matrix")
+
+	// The item space: mathematical resources and movie pages, all of which
+	// could plausibly be tagged "matrix".
+	mathItems := []p3q.ItemID{
+		v.Item("wikipedia.org/Matrix_(mathematics)"),
+		v.Item("wolfram.com/Eigenvalue"),
+		v.Item("mit.edu/linear-algebra-course"),
+		v.Item("numpy.org/matrix-api"),
+	}
+	movieItems := []p3q.ItemID{
+		v.Item("imdb.com/The_Matrix_1999"),
+		v.Item("imdb.com/The_Matrix_Reloaded"),
+		v.Item("fandom.com/Neo"),
+		v.Item("imdb.com/Keanu_Reeves"),
+	}
+	mathTags := []p3q.TagID{matrix, v.Tag("math"), v.Tag("linearalgebra"), v.Tag("eigenvalues")}
+	movieTags := []p3q.TagID{matrix, v.Tag("movie"), v.Tag("scifi"), v.Tag("keanureeves")}
+
+	// Two implicit communities of 20 users each, plus two probes: user 0 is
+	// a mathematician, user 1 a film fan. Nobody declares a friend list —
+	// similarity emerges from common tagging actions alone.
+	const users = 42
+	ds := &p3q.Dataset{NumItems: v.NumItems(), NumTags: v.NumTags()}
+	for u := 0; u < users; u++ {
+		p := p3q.NewProfile(p3q.UserID(u))
+		items, tags := mathItems, mathTags
+		if u%2 == 1 {
+			items, tags = movieItems, movieTags
+		}
+		// Each user tags most of her community's items with a rotating
+		// subset of the community vocabulary, always including "matrix".
+		for i, it := range items {
+			if (u/2+i)%4 == 3 {
+				continue // not everyone tags everything
+			}
+			p.Add(it, matrix)
+			p.Add(it, tags[1+(u/2+i)%3])
+		}
+		ds.Profiles = append(ds.Profiles, p)
+	}
+
+	cfg := p3q.DefaultConfig()
+	cfg.S, cfg.C = 12, 4
+	cfg.K = 4
+	nets := p3q.IdealNetworks(ds, cfg.S)
+	engine := p3q.NewEngine(ds, cfg)
+	engine.SeedIdealNetworks(nets)
+
+	ask := func(who p3q.UserID, label string) {
+		q := p3q.Query{Querier: who, Tags: []p3q.TagID{matrix}}
+		run := engine.IssueQuery(q)
+		for !run.Done() {
+			engine.EagerCycle()
+		}
+		fmt.Printf("%s (user %d) searches \"matrix\":\n", label, who)
+		for i, e := range run.Results() {
+			fmt.Printf("  %d. %-40s score %d\n", i+1, v.ItemName(e.Item), e.Score)
+		}
+		fmt.Println()
+	}
+
+	ask(0, "the mathematician")
+	ask(1, "the film fan")
+
+	fmt.Println("Same query, different implicit acquaintances, different answers —")
+	fmt.Println("no central server, no explicit social network.")
+}

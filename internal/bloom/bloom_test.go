@@ -1,0 +1,262 @@
+package bloom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1024, 4)
+	keys := []uint64{0, 1, 42, 1 << 40, ^uint64(0)}
+	for _, k := range keys {
+		f.Add(k)
+	}
+	for _, k := range keys {
+		if !f.Test(k) {
+			t.Fatalf("false negative for key %d", k)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f := New(4096, 5)
+	check := func(key uint64) bool {
+		f.Add(key)
+		return f.Test(key)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFilterTestsNegative(t *testing.T) {
+	f := New(1024, 4)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		if f.Test(rng.Uint64()) {
+			t.Fatal("empty filter returned a positive")
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n = 1000
+	f := NewWithEstimate(n, 0.01)
+	rng := rand.New(rand.NewSource(7))
+	inserted := make(map[uint64]bool, n)
+	for len(inserted) < n {
+		k := rng.Uint64()
+		if !inserted[k] {
+			inserted[k] = true
+			f.Add(k)
+		}
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		k := rng.Uint64()
+		if inserted[k] {
+			continue
+		}
+		if f.Test(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, want <= 0.03 for 1%% target", rate)
+	}
+}
+
+func TestPaperGeometryLowFPR(t *testing.T) {
+	// §3.3.1: 20 Kbit filters keep a ~0.1% FPR for typical profiles
+	// (mean 249 items, >99% of users under 2000 items).
+	f := New(DefaultBits, DefaultHashes)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		f.Add(rng.Uint64())
+	}
+	fp := 0
+	const probes = 50000
+	for i := 0; i < probes; i++ {
+		if f.Test(rng.Uint64()) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.002 {
+		t.Fatalf("paper-geometry FPR %.5f at 500 items, want <= 0.002", rate)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f := New(DefaultBits, DefaultHashes)
+	if got := f.SizeBytes(); got != 2560 {
+		t.Fatalf("SizeBytes = %d, want 2560 (20Kbit)", got)
+	}
+}
+
+func TestGeometryClamps(t *testing.T) {
+	f := New(-1, 0)
+	if f.Bits() < 64 {
+		t.Fatalf("Bits = %d, want >= 64", f.Bits())
+	}
+	if f.Hashes() < 1 {
+		t.Fatalf("Hashes = %d, want >= 1", f.Hashes())
+	}
+	g := New(65, 2)
+	if g.Bits()%64 != 0 {
+		t.Fatalf("Bits = %d, want a multiple of 64", g.Bits())
+	}
+}
+
+func TestNewWithEstimateDegenerateArgs(t *testing.T) {
+	for _, p := range []float64{-1, 0, 1, 2} {
+		f := NewWithEstimate(0, p)
+		f.Add(1)
+		if !f.Test(1) {
+			t.Fatal("degenerate-parameter filter lost a key")
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(1024, 4)
+	b := New(1024, 4)
+	if !a.Equal(b) {
+		t.Fatal("two empty same-geometry filters not Equal")
+	}
+	a.Add(5)
+	if a.Equal(b) {
+		t.Fatal("filters with different contents reported Equal")
+	}
+	b.Add(5)
+	if !a.Equal(b) {
+		t.Fatal("filters with same contents not Equal")
+	}
+	c := New(2048, 4)
+	c.Add(5)
+	if a.Equal(c) {
+		t.Fatal("filters with different geometry reported Equal")
+	}
+	if a.Equal(nil) {
+		t.Fatal("Equal(nil) returned true")
+	}
+}
+
+func TestClone(t *testing.T) {
+	a := New(1024, 4)
+	a.Add(1)
+	a.Add(2)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not Equal to original")
+	}
+	b.Add(99)
+	if a.Test(99) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if a.AddCount() != 2 || b.AddCount() != 3 {
+		t.Fatalf("AddCounts = %d,%d, want 2,3", a.AddCount(), b.AddCount())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(1024, 4)
+	b := New(1024, 4)
+	a.Add(1)
+	b.Add(2)
+	a.Union(b)
+	if !a.Test(1) || !a.Test(2) {
+		t.Fatal("union lost a key from one side")
+	}
+}
+
+func TestUnionGeometryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Union with mismatched geometry did not panic")
+		}
+	}()
+	New(1024, 4).Union(New(2048, 4))
+}
+
+func TestReset(t *testing.T) {
+	f := New(1024, 4)
+	f.Add(1)
+	f.Reset()
+	if f.Test(1) {
+		t.Fatal("Reset did not clear the filter")
+	}
+	if f.AddCount() != 0 {
+		t.Fatalf("AddCount after Reset = %d, want 0", f.AddCount())
+	}
+	if f.FillRatio() != 0 {
+		t.Fatalf("FillRatio after Reset = %f, want 0", f.FillRatio())
+	}
+}
+
+func TestFillRatioMonotone(t *testing.T) {
+	f := New(1024, 4)
+	prev := f.FillRatio()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		f.Add(rng.Uint64())
+		cur := f.FillRatio()
+		if cur < prev {
+			t.Fatal("FillRatio decreased after Add")
+		}
+		prev = cur
+	}
+	if prev <= 0 || prev > 1 {
+		t.Fatalf("FillRatio = %f out of (0,1]", prev)
+	}
+}
+
+func TestEstimateFPRBounds(t *testing.T) {
+	f := New(1024, 4)
+	if got := f.EstimateFPR(); got != 0 {
+		t.Fatalf("empty filter EstimateFPR = %f, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		f.Add(rng.Uint64())
+	}
+	got := f.EstimateFPR()
+	if got <= 0 || got > 1 {
+		t.Fatalf("EstimateFPR = %f out of (0,1]", got)
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := New(2048, 5)
+	b := New(2048, 5)
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 100; i++ {
+		k := rng.Uint64()
+		a.Add(k)
+		b.Add(k)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same insertions produced different filters")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := New(DefaultBits, DefaultHashes)
+	for i := 0; i < b.N; i++ {
+		f.Add(uint64(i))
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := New(DefaultBits, DefaultHashes)
+	for i := 0; i < 1000; i++ {
+		f.Add(uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Test(uint64(i))
+	}
+}

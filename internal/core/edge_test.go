@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"p3q/internal/tagging"
+	"p3q/internal/topk"
+	"p3q/internal/trace"
+)
+
+// Edge cases of the eager mode and engine lifecycle.
+
+func TestQueryWithUnknownTags(t *testing.T) {
+	// A query whose tags nobody ever used returns empty results but still
+	// terminates cleanly (every profile must still be consulted).
+	w := newWorld(t, 80, smallCfg(), 50)
+	e := New(w.ds, w.cfg)
+	e.SeedIdealNetworks(w.ideal)
+	q := trace.Query{Querier: 2, Tags: []tagging.TagID{999999}}
+	qr := e.IssueQuery(q)
+	e.RunEager(60)
+	if !qr.Done() {
+		t.Fatal("unknown-tag query did not terminate")
+	}
+	if len(qr.Results()) != 0 {
+		t.Fatalf("unknown-tag query returned %v", qr.Results())
+	}
+}
+
+func TestQueryWithEmptyTagList(t *testing.T) {
+	w := newWorld(t, 60, smallCfg(), 51)
+	e := New(w.ds, w.cfg)
+	e.SeedIdealNetworks(w.ideal)
+	qr := e.IssueQuery(trace.Query{Querier: 1})
+	e.RunEager(60)
+	if !qr.Done() {
+		t.Fatal("empty query did not terminate")
+	}
+	if len(qr.Results()) != 0 {
+		t.Fatal("empty query produced results")
+	}
+}
+
+func TestQuerierWithEmptyPersonalNetwork(t *testing.T) {
+	// A freshly booted node (no neighbours yet) gets a purely local answer
+	// and the query completes immediately.
+	w := newWorld(t, 50, smallCfg(), 52)
+	e := New(w.ds, w.cfg)
+	e.Bootstrap() // no lazy cycles: personal networks empty
+	q, _ := trace.QueryFor(w.ds, 7, 1)
+	qr := e.IssueQuery(q)
+	if !qr.Done() {
+		t.Fatal("query over empty personal network should complete locally")
+	}
+	if qr.ProfilesNeeded() != 1 || qr.ProfilesUsed() != 1 {
+		t.Fatalf("needed/used = %d/%d, want 1/1 (own profile only)",
+			qr.ProfilesNeeded(), qr.ProfilesUsed())
+	}
+	// The local answer contains the query's source item.
+	found := false
+	for _, entry := range qr.Results() {
+		if entry.Item == q.Item {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("local-only results miss the query's own source item")
+	}
+}
+
+func TestManyConcurrentQueriesFromOneUser(t *testing.T) {
+	w := newWorld(t, 100, smallCfg(), 53)
+	e := New(w.ds, w.cfg)
+	e.SeedIdealNetworks(w.ideal)
+	var runs []*QueryRun
+	for i := 0; i < 8; i++ {
+		q, ok := trace.QueryFor(w.ds, 9, uint64(60+i))
+		if !ok {
+			t.Fatal("no query")
+		}
+		runs = append(runs, e.IssueQuery(q))
+	}
+	e.RunEager(80)
+	for i, qr := range runs {
+		if !qr.Done() {
+			t.Fatalf("concurrent query %d did not complete", i)
+		}
+		want := exactReference(e, qr.Query, w.cfg.K)
+		if r := topk.Recall(qr.Results(), want); r != 1 {
+			t.Fatalf("concurrent query %d recall = %f", i, r)
+		}
+	}
+}
+
+func TestKGreaterThanAvailableItems(t *testing.T) {
+	cfg := smallCfg()
+	cfg.K = 10000
+	w := newWorld(t, 60, cfg, 54)
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	q, _ := trace.QueryFor(w.ds, 3, 2)
+	qr := e.IssueQuery(q)
+	e.RunEager(60)
+	if !qr.Done() {
+		t.Fatal("huge-k query did not complete")
+	}
+	// Every item with a positive score, no more.
+	for _, entry := range qr.Results() {
+		if entry.Score <= 0 {
+			t.Fatalf("huge-k results include non-positive score: %v", entry)
+		}
+	}
+}
+
+func TestEagerCycleWithNoQueriesIsCheap(t *testing.T) {
+	w := newWorld(t, 60, smallCfg(), 55)
+	e := New(w.ds, w.cfg)
+	e.SeedIdealNetworks(w.ideal)
+	before := e.Network().Total()
+	e.EagerCycle()
+	diff := e.Network().Total().Since(before)
+	if diff.TotalBytes() != 0 {
+		t.Fatalf("idle eager cycle transmitted %d bytes", diff.TotalBytes())
+	}
+	if e.EagerCycles() != 1 {
+		t.Fatal("cycle counter not advanced")
+	}
+}
+
+func TestLazyCycleOnAllOfflinePopulation(t *testing.T) {
+	w := newWorld(t, 40, smallCfg(), 56)
+	e := New(w.ds, w.cfg)
+	e.SeedIdealNetworks(w.ideal)
+	e.Kill(1.0)
+	e.LazyCycle() // must not panic or transmit
+	if got := e.Network().Total().TotalBytes(); got != 0 {
+		t.Fatalf("all-offline lazy cycle transmitted %d bytes", got)
+	}
+}
+
+func TestQueryCompletionExactUnderHeterogeneousStorage(t *testing.T) {
+	cfg := smallCfg()
+	cfg.CAssign = make([]int, 100)
+	for i := range cfg.CAssign {
+		cfg.CAssign[i] = 1 + i%7 // wildly heterogeneous
+	}
+	w := newWorld(t, 100, cfg, 57)
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	for _, q := range trace.GenerateQueries(w.ds, 5)[:15] {
+		e.IssueQuery(q)
+	}
+	e.RunEager(80)
+	if !e.AllQueriesDone() {
+		t.Fatal("heterogeneous queries did not complete")
+	}
+	for _, qr := range e.Queries() {
+		want := exactReference(e, qr.Query, cfg.K)
+		got := qr.Results()
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("heterogeneous results diverge: %v vs %v", got, want)
+			}
+		}
+	}
+}
+
+func TestSingleUserPopulation(t *testing.T) {
+	p := trace.DefaultGenParams(10)
+	p.Seed = 58
+	ds := trace.Generate(p)
+	// Shrink to one user.
+	ds.Profiles = ds.Profiles[:1]
+	cfg := smallCfg()
+	e := New(ds, cfg)
+	e.Bootstrap()
+	e.RunLazy(3) // nothing to gossip with; must not panic
+	q, ok := trace.QueryFor(ds, 0, 1)
+	if !ok {
+		t.Skip("single user has empty profile")
+	}
+	qr := e.IssueQuery(q)
+	if qr == nil || !qr.Done() {
+		t.Fatal("single-user query should complete locally")
+	}
+}
+
+func TestChurnDuringLazyConvergence(t *testing.T) {
+	// Failure injection: nodes die midway through organic convergence; the
+	// survivors keep converging among themselves.
+	cfg := smallCfg()
+	cfg.S = 10
+	w := newWorld(t, 120, cfg, 59)
+	e := New(w.ds, cfg)
+	e.Bootstrap()
+	e.RunLazy(8)
+	e.Kill(0.4)
+	e.RunLazy(15) // must not panic; probes accounted
+	alive := 0
+	withNeighbours := 0
+	for u := 0; u < e.Users(); u++ {
+		if !e.Network().Online(tagging.UserID(u)) {
+			continue
+		}
+		alive++
+		if e.Node(tagging.UserID(u)).PersonalNetwork().Len() > 0 {
+			withNeighbours++
+		}
+	}
+	if withNeighbours < alive*8/10 {
+		t.Fatalf("only %d/%d survivors have neighbours after churned convergence",
+			withNeighbours, alive)
+	}
+}
+
+func TestInterleavedLazyAndEagerCycles(t *testing.T) {
+	// The paper's deployment runs both modes concurrently (lazy each
+	// minute, eager every 5s). Interleaving them must preserve exactness.
+	w := newWorld(t, 100, smallCfg(), 60)
+	e := New(w.ds, w.cfg)
+	e.SeedIdealNetworks(w.ideal)
+	q, _ := trace.QueryFor(w.ds, 5, 3)
+	qr := e.IssueQuery(q)
+	want := exactReference(e, q, w.cfg.K)
+	for i := 0; i < 40 && !qr.Done(); i++ {
+		e.EagerCycle()
+		if i%3 == 0 {
+			e.LazyCycle()
+		}
+	}
+	if !qr.Done() {
+		t.Fatal("query did not complete under interleaved modes")
+	}
+	got := qr.Results()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleaved results diverge: %v vs %v", got, want)
+		}
+	}
+}

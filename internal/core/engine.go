@@ -1,0 +1,262 @@
+package core
+
+import (
+	"p3q/internal/gossip"
+	"p3q/internal/randx"
+	"p3q/internal/sim"
+	"p3q/internal/similarity"
+	"p3q/internal/tagging"
+	"p3q/internal/trace"
+)
+
+// Engine drives a population of P3Q nodes cycle by cycle, the equivalent of
+// the paper's PeerSim setup. It owns the simulated network (liveness and
+// traffic accounting) and the query registry.
+//
+// Engines are deterministic: identical dataset, configuration and seed
+// reproduce identical cycles, byte counts and query results. The engine is
+// not safe for concurrent use.
+type Engine struct {
+	cfg   Config
+	ds    *trace.Dataset
+	net   *sim.Network
+	nodes []*Node
+	rng   *randx.Source
+
+	lazyCycles  int
+	eagerCycles int
+
+	queries     map[uint64]*QueryRun
+	queryOrder  []uint64
+	nextQueryID uint64
+
+	// naiveExchangeBytes tallies what every top-layer exchange would have
+	// cost if full profiles were shipped instead of running the 3-step
+	// digest/common-items/delta protocol of Algorithm 1 (ablation ledger).
+	naiveExchangeBytes uint64
+}
+
+// New builds an engine over the dataset. Nodes start with empty personal
+// networks and empty random views; call Bootstrap (and run lazy cycles) to
+// converge organically, or SeedIdealNetworks to start from converged state.
+func New(ds *trace.Dataset, cfg Config) *Engine {
+	cfg = cfg.sanitize(ds.Users())
+	root := randx.NewSource(cfg.Seed)
+	e := &Engine{
+		cfg:     cfg,
+		ds:      ds,
+		net:     sim.NewNetwork(ds.Users()),
+		nodes:   make([]*Node, ds.Users()),
+		rng:     root.Split(0xE16),
+		queries: make(map[uint64]*QueryRun),
+	}
+	for u := 0; u < ds.Users(); u++ {
+		id := tagging.UserID(u)
+		e.nodes[u] = &Node{
+			id:       id,
+			e:        e,
+			profile:  ds.Profiles[u],
+			pnet:     NewPersonalNetwork(id, cfg.S, cfg.capacityOf(id)),
+			view:     gossip.NewView(id, cfg.R),
+			rng:      root.Split(uint64(u) + 1),
+			branches: make(map[uint64][]tagging.UserID),
+		}
+	}
+	return e
+}
+
+// Config returns the engine's (sanitized) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Dataset returns the dataset the engine runs over.
+func (e *Engine) Dataset() *trace.Dataset { return e.ds }
+
+// Network returns the simulated network (liveness, traffic counters).
+func (e *Engine) Network() *sim.Network { return e.net }
+
+// Node returns the node of the given user.
+func (e *Engine) Node(u tagging.UserID) *Node { return e.nodes[u] }
+
+// Users returns the population size.
+func (e *Engine) Users() int { return len(e.nodes) }
+
+// LazyCycles returns the number of lazy cycles run so far.
+func (e *Engine) LazyCycles() int { return e.lazyCycles }
+
+// EagerCycles returns the number of eager cycles run so far.
+func (e *Engine) EagerCycles() int { return e.eagerCycles }
+
+// Queries returns every issued query in issue order.
+func (e *Engine) Queries() []*QueryRun {
+	out := make([]*QueryRun, 0, len(e.queryOrder))
+	for _, id := range e.queryOrder {
+		out = append(out, e.queries[id])
+	}
+	return out
+}
+
+// NaiveExchangeBytes returns the hypothetical cost of every top-layer
+// exchange so far had full profiles been shipped instead of the 3-step
+// protocol of Algorithm 1. Comparing it against the actual
+// digest/common-items/profile traffic quantifies the 3-step savings
+// (ablation of the design choice in §2.2.1).
+func (e *Engine) NaiveExchangeBytes() uint64 { return e.naiveExchangeBytes }
+
+// AllQueriesDone reports whether every issued query has completed.
+func (e *Engine) AllQueriesDone() bool {
+	for _, id := range e.queryOrder {
+		if !e.queries[id].done {
+			return false
+		}
+	}
+	return true
+}
+
+// Bootstrap seeds every node's random view with R uniformly chosen peers,
+// modelling the usual join-through-bootstrap-service assumption of gossip
+// protocols ("each user builds her personal network by first discovering
+// the contact information of any user currently in the system using the
+// random peer sampling protocol", §3.2.1).
+func (e *Engine) Bootstrap() {
+	n := len(e.nodes)
+	for u, node := range e.nodes {
+		peers := make([]gossip.Descriptor, 0, e.cfg.R)
+		for _, i := range node.rng.Sample(n, e.cfg.R+1) {
+			if i == u {
+				continue
+			}
+			peers = append(peers, e.nodes[i].descriptor())
+			if len(peers) == e.cfg.R {
+				break
+			}
+		}
+		node.view.Bootstrap(peers)
+	}
+}
+
+// LazyCycle runs one cycle of the lazy mode on every online node: the
+// bottom-layer view exchange, the top-layer personal network gossip, and
+// the scoring of random-view candidates (§2.2.1: "at each cycle, a user
+// gossips with a neighbour from her random view and a neighbour from her
+// personal network respectively").
+func (e *Engine) LazyCycle() {
+	order := e.rng.Perm(len(e.nodes))
+	for _, i := range order {
+		n := e.nodes[i]
+		if !e.net.Online(n.id) {
+			continue
+		}
+		e.viewExchange(n)
+	}
+	for _, i := range order {
+		n := e.nodes[i]
+		if !e.net.Online(n.id) {
+			continue
+		}
+		e.topLazyGossip(n)
+		n.evaluateRandomView()
+	}
+	e.lazyCycles++
+}
+
+// RunLazy runs n lazy cycles.
+func (e *Engine) RunLazy(n int) {
+	for i := 0; i < n; i++ {
+		e.LazyCycle()
+	}
+}
+
+// RunEager runs eager cycles until every issued query completes or
+// maxCycles elapse, returning the number of cycles executed.
+func (e *Engine) RunEager(maxCycles int) int {
+	ran := 0
+	for ; ran < maxCycles && !e.AllQueriesDone(); ran++ {
+		e.EagerCycle()
+	}
+	return ran
+}
+
+// Kill takes the given fraction of online nodes offline simultaneously
+// (§3.4.2) and returns their IDs.
+func (e *Engine) Kill(frac float64) []tagging.UserID {
+	return e.net.Kill(frac, e.rng.Split(0xDEAD))
+}
+
+// Revive brings departed nodes back online. A revived node keeps her
+// profile and personal network (the paper's model: departures are
+// disconnections, not data loss — "her opinion on the tagged items keeps
+// meaningful", §3.4.2) and re-enters the gossip at the next cycle; her
+// random view heals through peer sampling.
+func (e *Engine) Revive(ids []tagging.UserID) {
+	for _, id := range ids {
+		e.net.SetOnline(id, true)
+	}
+}
+
+// SeedExplicitNetworks installs pre-declared social networks (e.g. Facebook
+// friend lists) instead of gossip-discovered implicit ones — the deployment
+// variant discussed in §4: "equipping each P3Q user with a pre-defined
+// explicit network as input would be straightforward: only the eager mode
+// of P3Q would suffice". Each user's contacts are scored with the real
+// profile similarity (floored at 1 so a declared friend is kept even with
+// no tagging overlap), the top-c profiles are stored, and random views are
+// bootstrapped for connectivity.
+func (e *Engine) SeedExplicitNetworks(contacts [][]tagging.UserID) {
+	if len(contacts) != len(e.nodes) {
+		panic("core: SeedExplicitNetworks needs one contact list per user")
+	}
+	digests := make([]*tagging.Digest, len(e.nodes))
+	for u, node := range e.nodes {
+		digests[u] = node.digest()
+	}
+	for u, node := range e.nodes {
+		node.pnet = NewPersonalNetwork(node.id, e.cfg.S, e.cfg.capacityOf(node.id))
+		node.checkEvalCache()
+		for _, friend := range contacts[u] {
+			if friend == node.id || node.pnet.Contains(friend) {
+				continue
+			}
+			score := node.profile.CommonScore(e.nodes[friend].profile.Snapshot())
+			if score < 1 {
+				score = 1
+			}
+			node.pnet.Upsert(friend, score, digests[friend])
+			node.evaluated[friend] = digests[friend].Version
+		}
+		for _, entry := range node.pnet.Rebalance() {
+			entry.Stored = e.nodes[entry.ID].profile.Snapshot()
+		}
+	}
+	e.Bootstrap()
+}
+
+// SeedIdealNetworks installs the given (offline-computed) ideal personal
+// networks into every node: the top-s neighbours with their scores and
+// digests, fresh stored snapshots for the top-c, and warmed evaluation
+// caches. Random views are bootstrapped as usual. This is how experiments
+// that assume converged networks (Figures 3-6, 8, 11) start without paying
+// hundreds of lazy cycles.
+func (e *Engine) SeedIdealNetworks(nets [][]similarity.Neighbour) {
+	// One digest per user, shared by every holder (digests of the same
+	// profile version are identical).
+	digests := make([]*tagging.Digest, len(e.nodes))
+	for u, node := range e.nodes {
+		digests[u] = node.digest()
+	}
+	for u, node := range e.nodes {
+		node.pnet = NewPersonalNetwork(node.id, e.cfg.S, e.cfg.capacityOf(node.id))
+		node.checkEvalCache()
+		limit := len(nets[u])
+		if limit > e.cfg.S {
+			limit = e.cfg.S
+		}
+		for _, nb := range nets[u][:limit] {
+			node.pnet.Upsert(nb.ID, nb.Score, digests[nb.ID])
+			node.evaluated[nb.ID] = digests[nb.ID].Version
+		}
+		for _, entry := range node.pnet.Rebalance() {
+			entry.Stored = e.nodes[entry.ID].profile.Snapshot()
+		}
+	}
+	e.Bootstrap()
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p3q/internal/randx"
+	"p3q/internal/tagging"
+	"p3q/internal/trace"
+)
+
+// Property-based tests (testing/quick) on the protocol's core invariants.
+
+func TestSplitRemainingPartitionProperty(t *testing.T) {
+	// keep ∪ returned == rest, keep ∩ returned == ∅, for every alpha and
+	// list shape.
+	f := func(n uint8, alphaRaw uint8, seed uint64) bool {
+		alpha := float64(alphaRaw%101) / 100
+		rest := make([]tagging.UserID, n)
+		for i := range rest {
+			rest[i] = tagging.UserID(i)
+		}
+		rng := randx.NewSource(seed)
+		keep, returned := splitRemaining(rest, alpha, rng)
+		if len(keep)+len(returned) != len(rest) {
+			return false
+		}
+		seen := make(map[tagging.UserID]bool, len(rest))
+		for _, u := range append(append([]tagging.UserID{}, keep...), returned...) {
+			if seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+		for _, u := range rest {
+			if !seen[u] {
+				return false
+			}
+		}
+		// The destination keeps floor((1-alpha)*n).
+		wantKeep := int((1 - alpha) * float64(len(rest)))
+		if len(rest) > 0 && wantKeep < len(rest) && len(keep) != wantKeep {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRemainingExtremes(t *testing.T) {
+	rest := []tagging.UserID{1, 2, 3, 4}
+	rng := randx.NewSource(1)
+	keep, ret := splitRemaining(rest, 1, rng) // alpha=1: all returned
+	if len(keep) != 0 || len(ret) != 4 {
+		t.Fatalf("alpha=1: keep=%d ret=%d", len(keep), len(ret))
+	}
+	keep, ret = splitRemaining(rest, 0, rng) // alpha=0: all kept
+	if len(keep) != 4 || len(ret) != 0 {
+		t.Fatalf("alpha=0: keep=%d ret=%d", len(keep), len(ret))
+	}
+	keep, ret = splitRemaining(nil, 0.5, rng)
+	if keep != nil || ret != nil {
+		t.Fatal("empty rest should split into nils")
+	}
+}
+
+func TestMergeUniqueProperty(t *testing.T) {
+	f := func(a, b []uint8) bool {
+		branch := make([]tagging.UserID, len(a))
+		for i, v := range a {
+			branch[i] = tagging.UserID(v % 32)
+		}
+		// Deduplicate the starting branch as the protocol guarantees.
+		branch = mergeUnique(nil, branch)
+		add := make([]tagging.UserID, len(b))
+		for i, v := range b {
+			add[i] = tagging.UserID(v % 32)
+		}
+		merged := mergeUnique(branch, add)
+		seen := make(map[tagging.UserID]int)
+		for _, u := range merged {
+			seen[u]++
+			if seen[u] > 1 {
+				return false
+			}
+		}
+		// Everything from both inputs is present.
+		for _, u := range branch {
+			if seen[u] == 0 {
+				return false
+			}
+		}
+		for _, u := range add {
+			if seen[u] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPnetInvariantsUnderRandomUpserts(t *testing.T) {
+	// After any sequence of Upserts and Rebalances: size <= s, stored <= c,
+	// the stored entries are exactly the top-c of the ranking, and the
+	// ranking is sorted.
+	f := func(ops []uint16, seed uint64) bool {
+		pn := NewPersonalNetwork(999, 8, 3)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		profiles := make(map[tagging.UserID]*tagging.Profile)
+		for _, op := range ops {
+			id := tagging.UserID(op % 40)
+			if id == 999 {
+				continue
+			}
+			score := int(op%13) + 1
+			p := profiles[id]
+			if p == nil {
+				p = tagging.NewProfile(id)
+				p.Add(tagging.ItemID(rng.Intn(100)), tagging.TagID(rng.Intn(10)))
+				profiles[id] = p
+			}
+			d := tagging.NewDigest(p.Snapshot(), 256, 3)
+			e := pn.Upsert(id, score, d)
+			for _, need := range pn.Rebalance() {
+				need.Stored = profiles[need.ID].Snapshot()
+			}
+			_ = e
+		}
+		if pn.Len() > 8 {
+			return false
+		}
+		ranking := pn.Ranking()
+		for i := 1; i < len(ranking); i++ {
+			a, b := ranking[i-1], ranking[i]
+			if a.Score < b.Score || (a.Score == b.Score && a.ID > b.ID) {
+				return false
+			}
+		}
+		stored := pn.StoredEntries()
+		if len(stored) > 3 {
+			return false
+		}
+		// Stored entries are a prefix of the ranking.
+		for i, e := range stored {
+			if ranking[i] != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryPartitionInvariantDuringProcessing(t *testing.T) {
+	// At every point of a query's processing, each personal-network member
+	// of the querier is in AT MOST one remaining list across all nodes, and
+	// never in a remaining list after her profile was used.
+	cfg := smallCfg()
+	w := newWorld(t, 120, cfg, 40)
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	q, _ := trace.QueryFor(w.ds, 3, 14)
+	qr := e.IssueQuery(q)
+	for cycle := 0; cycle < 40 && !qr.Done(); cycle++ {
+		e.EagerCycle()
+		holders := make(map[tagging.UserID]tagging.UserID) // member -> branch holder
+		for u := 0; u < e.Users(); u++ {
+			node := e.nodes[u]
+			for qid, branch := range node.branches {
+				if qid != qr.ID {
+					continue
+				}
+				for _, member := range branch {
+					if prev, dup := holders[member]; dup {
+						t.Fatalf("cycle %d: member %d in two remaining lists (%d and %d)",
+							cycle, member, prev, u)
+					}
+					holders[member] = tagging.UserID(u)
+					if _, used := qr.used[member]; used {
+						t.Fatalf("cycle %d: member %d still pending after being used", cycle, member)
+					}
+				}
+			}
+		}
+	}
+	if !qr.Done() {
+		t.Fatal("query did not complete")
+	}
+}
+
+func TestScoresNeverDecreaseUnderGossip(t *testing.T) {
+	// Profiles are append-only, so a neighbour's similarity score can only
+	// grow as fresher versions are integrated.
+	cfg := smallCfg()
+	w := newWorld(t, 80, cfg, 41)
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	before := make(map[[2]uint32]int)
+	for u := 0; u < e.Users(); u++ {
+		for _, entry := range e.nodes[u].pnet.Ranking() {
+			before[[2]uint32{uint32(u), uint32(entry.ID)}] = entry.Score
+		}
+	}
+	trace.ApplyChanges(w.ds, trace.GenerateChanges(w.ds, trace.ChangeParams{
+		FracUsers: 0.4, MeanNew: 6, SigmaNew: 0.5, MaxNew: 25, Seed: 12,
+	}))
+	e.RunLazy(15)
+	for u := 0; u < e.Users(); u++ {
+		for _, entry := range e.nodes[u].pnet.Ranking() {
+			if old, ok := before[[2]uint32{uint32(u), uint32(entry.ID)}]; ok && entry.Score < old {
+				t.Fatalf("user %d neighbour %d: score fell %d -> %d", u, entry.ID, old, entry.Score)
+			}
+		}
+	}
+}
+
+func TestStoredReplicasNeverNewerThanOwner(t *testing.T) {
+	// A replica can lag its owner but can never be ahead of her.
+	cfg := smallCfg()
+	w := newWorld(t, 80, cfg, 42)
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	trace.ApplyChanges(w.ds, trace.GenerateChanges(w.ds, trace.ChangeParams{
+		FracUsers: 0.5, MeanNew: 8, SigmaNew: 0.6, MaxNew: 30, Seed: 13,
+	}))
+	for cycle := 0; cycle < 10; cycle++ {
+		e.LazyCycle()
+		for u := 0; u < e.Users(); u++ {
+			for _, entry := range e.nodes[u].pnet.StoredEntries() {
+				owner := w.ds.Profiles[entry.ID]
+				if entry.Stored.Version() > owner.Version() {
+					t.Fatalf("user %d stores version %d of %d, owner only has %d",
+						u, entry.Stored.Version(), entry.ID, owner.Version())
+				}
+				if entry.Digest.Version > owner.Version() {
+					t.Fatalf("user %d knows digest version %d of %d, owner only has %d",
+						u, entry.Digest.Version, entry.ID, owner.Version())
+				}
+			}
+		}
+	}
+}

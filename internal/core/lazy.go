@@ -1,0 +1,277 @@
+package core
+
+import (
+	"sort"
+
+	"p3q/internal/gossip"
+	"p3q/internal/sim"
+	"p3q/internal/tagging"
+)
+
+// This file implements the lazy mode of §2.2.1: the bottom-layer peer
+// sampling exchange and the top-layer 3-step profile exchange of
+// Algorithm 1 that discovers and maintains personal networks.
+
+// viewExchange runs one bottom-layer gossip for node a: pick a uniform
+// partner from the random view, swap r digests, re-sample both views.
+func (e *Engine) viewExchange(a *Node) {
+	d, ok := a.view.SelectPartner(a.rng)
+	if !ok {
+		return
+	}
+	if !e.net.Online(d.Node) {
+		e.net.Send(a.id, d.Node, sim.MsgProbe, 0) // records the failed attempt
+		// Departed contact: drop it so the view heals (§3.4.2).
+		a.view.Remove(d.Node)
+		return
+	}
+	b := e.nodes[d.Node]
+	bufA := a.view.SendBuffer(a.descriptor(), a.rng)
+	bufB := b.view.SendBuffer(b.descriptor(), b.rng)
+	e.net.Send(a.id, d.Node, sim.MsgRandomView, descriptorsWireSize(bufA))
+	e.net.Send(d.Node, a.id, sim.MsgRandomView, descriptorsWireSize(bufB))
+	a.view.Merge(bufB, a.rng)
+	b.view.Merge(bufA, b.rng)
+}
+
+// requestBytes is the size charged for a bare "send me X" request message.
+const requestBytes = 8
+
+// sortEntriesByAge stable-sorts entries by decreasing timestamp, preserving
+// the incoming order among ties.
+func sortEntriesByAge(entries []*Entry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Timestamp > entries[j].Timestamp
+	})
+}
+
+// descriptorsWireSize is the wire size of a peer-sampling buffer: one
+// digest per descriptor.
+func descriptorsWireSize(ds []gossip.Descriptor) int {
+	b := 0
+	for _, d := range ds {
+		b += d.Digest.SizeBytes()
+	}
+	return b
+}
+
+// topLazyGossip runs one top-layer gossip for node a: select the personal
+// network neighbour with the oldest timestamp (retrying past departed ones
+// up to MaxProbes) and run the symmetric 3-step profile exchange with her.
+func (e *Engine) topLazyGossip(a *Node) {
+	partners := a.pnet.PartnersByAge()
+	// Equal timestamps (common right after bootstrap) are tried in random
+	// order so the first cycles do not all hit the lowest IDs.
+	a.rng.Shuffle(len(partners), func(i, j int) { partners[i], partners[j] = partners[j], partners[i] })
+	sortEntriesByAge(partners)
+	probes := 0
+	for _, p := range partners {
+		if probes >= e.cfg.MaxProbes {
+			return
+		}
+		if !e.net.Online(p.ID) {
+			e.net.Send(a.id, p.ID, sim.MsgProbe, 0)
+			probes++
+			// Keep the entry (her profile stays meaningful, §3.4.2) but
+			// reset the timestamp so other neighbours are tried first in
+			// the following cycles.
+			a.pnet.ResetTimestamp(p.ID)
+			continue
+		}
+		b := e.nodes[p.ID]
+		e.topExchange(a, b)
+		a.pnet.Touch(p.ID)
+		b.pnet.ResetTimestamp(a.id)
+		return
+	}
+}
+
+// topExchange performs the symmetric top-layer exchange between two online
+// nodes: both sides advertise digests (step 1) and integrate what they
+// received (steps 2-3). Used verbatim by the lazy mode and piggybacked by
+// the eager mode (Algorithm 3, "maintain personal network as in lazy
+// mode").
+func (e *Engine) topExchange(a, b *Node) {
+	offersA := a.advertise()
+	offersB := b.advertise()
+	e.net.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(offersA))
+	e.net.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(offersB))
+	// Side ledger for the 3-step ablation: what a naive protocol shipping
+	// every advertised profile in full would have cost.
+	for _, o := range offersA {
+		e.naiveExchangeBytes += uint64(tagging.ActionsWireSize(o.snap.Len()))
+	}
+	for _, o := range offersB {
+		e.naiveExchangeBytes += uint64(tagging.ActionsWireSize(o.snap.Len()))
+	}
+	b.integrate(offersA, a.id)
+	a.integrate(offersB, b.id)
+}
+
+// integrate processes a batch of received profile advertisements per
+// Algorithm 1. provider is the node that sent them and that serves steps
+// 2-3 for these offers.
+//
+//	step 1 (lines 1-15):  filter digests — drop unchanged/known versions and
+//	                      owners sharing no item with the own profile;
+//	step 2 (lines 16-26): fetch the tagging actions on common items, compute
+//	                      exact similarity scores, update the personal
+//	                      network (top-s, positive scores);
+//	step 3 (lines 27-31): fetch the full profiles of neighbours entering the
+//	                      top-c and store them.
+func (n *Node) integrate(offers []offer, provider tagging.UserID) {
+	n.checkEvalCache()
+	type scored struct {
+		o        offer
+		received int // actions transferred in step 2 (for the step-3 discount)
+	}
+	var candidates []scored
+
+	// Step 1: filter on digests only.
+	for _, o := range offers {
+		owner := o.digest.Owner
+		if owner == n.id {
+			continue
+		}
+		if v, ok := n.evaluated[owner]; ok && v >= o.digest.Version {
+			continue // already scored at this or a newer version
+		}
+		if entry := n.pnet.Entry(owner); entry != nil {
+			if entry.Digest.Version >= o.digest.Version {
+				continue // digest does not change (or is older than known)
+			}
+		} else if n.e.cfg.StaticNetworks {
+			continue // membership frozen: never admit new neighbours
+		} else if !o.digest.SharesItemWith(n.profile) {
+			continue // no common item: does not qualify (Algorithm 1, line 10)
+		}
+		candidates = append(candidates, scored{o: o})
+	}
+	if len(candidates) == 0 {
+		return
+	}
+
+	// Step 2: request the actions on common items and compute exact scores.
+	reqBytes, respBytes := 0, 0
+	type result struct {
+		o        offer
+		score    int
+		received int
+	}
+	var results []result
+	for _, c := range candidates {
+		common := commonItems(n.profile, c.o.digest)
+		reqBytes += tagging.ItemsWireSize(len(common))
+		actions := c.o.snap.ActionsOnItems(common)
+		respBytes += tagging.ActionsWireSize(len(actions))
+		score := 0
+		for _, a := range actions {
+			if n.profile.Has(a.Item, a.Tag) {
+				score++
+			}
+		}
+		n.evaluated[c.o.digest.Owner] = c.o.digest.Version
+		results = append(results, result{o: c.o, score: score, received: len(actions)})
+	}
+	n.e.net.Send(n.id, provider, sim.MsgCommonItems, reqBytes)
+	n.e.net.Send(provider, n.id, sim.MsgCommonItems, respBytes)
+
+	// Update the personal network: keep the s highest positive scores.
+	inBatch := make(map[tagging.UserID]result, len(results))
+	for _, r := range results {
+		if r.score > 0 {
+			n.pnet.Upsert(r.o.digest.Owner, r.score, r.o.digest)
+			inBatch[r.o.digest.Owner] = r
+		}
+	}
+
+	// Step 3: store the profiles of neighbours entering the top-c.
+	profBytes := 0
+	var directFetch []*Entry
+	for _, entry := range n.pnet.Rebalance() {
+		if r, ok := inBatch[entry.ID]; ok {
+			entry.Stored = r.o.snap
+			rest := r.o.snap.Len() - r.received
+			if rest < 0 {
+				rest = 0
+			}
+			profBytes += tagging.ActionsWireSize(rest)
+		} else {
+			// The entry re-entered the top-c without being advertised in
+			// this batch (it was pushed out of storage earlier): fetch
+			// directly from the owner.
+			directFetch = append(directFetch, entry)
+		}
+	}
+	if profBytes > 0 {
+		n.e.net.Send(provider, n.id, sim.MsgProfile, profBytes)
+	}
+	for _, entry := range directFetch {
+		n.fetchFromOwner(entry)
+	}
+}
+
+// fetchFromOwner retrieves a neighbour's full fresh profile directly from
+// its owner (used for random-view candidates and for re-entering top-c
+// entries). It is a no-op if the owner has departed.
+func (n *Node) fetchFromOwner(entry *Entry) {
+	if !n.e.net.Online(entry.ID) {
+		n.e.net.Send(n.id, entry.ID, sim.MsgProbe, 0) // records the probe
+		return
+	}
+	owner := n.e.nodes[entry.ID]
+	snap := owner.profile.Snapshot()
+	n.e.net.Send(n.id, entry.ID, sim.MsgCommonItems, requestBytes)
+	n.e.net.Send(entry.ID, n.id, sim.MsgProfile, tagging.ActionsWireSize(snap.Len()))
+	entry.Stored = snap
+	entry.Digest = owner.digest()
+}
+
+// evaluateRandomView scores the random-view members whose digests indicate
+// at least one shared item, contacting them directly for their fresh
+// profiles (§2.2.1: "The profile of vj is obtained by directly contacting
+// vj if Digest(vj) contains at least one item tagged by ui").
+func (n *Node) evaluateRandomView() {
+	n.checkEvalCache()
+	for _, d := range n.view.Entries() {
+		if d.Node == n.id {
+			continue
+		}
+		if v, ok := n.evaluated[d.Node]; ok && v >= d.Digest.Version {
+			continue
+		}
+		entry := n.pnet.Entry(d.Node)
+		if entry != nil && entry.Digest.Version >= d.Digest.Version {
+			continue
+		}
+		if entry == nil && n.e.cfg.StaticNetworks {
+			continue // membership frozen: no point contacting non-members
+		}
+		if !d.Digest.SharesItemWith(n.profile) {
+			n.evaluated[d.Node] = d.Digest.Version
+			continue
+		}
+		if !n.e.net.Online(d.Node) {
+			n.e.net.Send(n.id, d.Node, sim.MsgProbe, 0)
+			continue
+		}
+		// Direct contact: the owner serves a fresh offer of her own profile.
+		owner := n.e.nodes[d.Node]
+		fresh := offer{digest: owner.digest(), snap: owner.profile.Snapshot()}
+		n.e.net.Send(d.Node, n.id, sim.MsgTopDigest, fresh.digest.SizeBytes())
+		n.integrate([]offer{fresh}, d.Node)
+	}
+}
+
+// commonItems returns the items of p that the digest may contain — the
+// common-item estimate of Algorithm 1 (false positives possible at the
+// Bloom filter's rate, false negatives never).
+func commonItems(p *tagging.Profile, d *tagging.Digest) []tagging.ItemID {
+	var out []tagging.ItemID
+	for _, it := range p.Items() {
+		if d.MightContainItem(it) {
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"p3q/internal/gossip"
+	"p3q/internal/randx"
+	"p3q/internal/tagging"
+)
+
+// Node is one P3Q participant: a user, her profile, her personal network
+// and random view, plus the per-query branches of remaining lists she is
+// responsible for in eager mode.
+type Node struct {
+	id      tagging.UserID
+	e       *Engine
+	profile *tagging.Profile
+	pnet    *PersonalNetwork
+	view    *gossip.View
+	rng     *randx.Source
+
+	// ownDigest caches the digest of the node's own profile per version.
+	ownDigest *tagging.Digest
+
+	// evaluated memoizes, per candidate owner, the highest profile version
+	// already scored against the own profile. A digest whose version is not
+	// newer carries no new information (Algorithm 1 drops it), so the
+	// candidate is skipped without a Bloom scan. The cache is only valid
+	// for the own profile version it was built against: scores grow when
+	// the *own* profile grows, so the cache resets on own-profile change.
+	evaluated   map[tagging.UserID]int
+	evalVersion int
+
+	// branches holds this node's remaining list per active query.
+	branches map[uint64][]tagging.UserID
+}
+
+// ID returns the node's user ID.
+func (n *Node) ID() tagging.UserID { return n.id }
+
+// Profile returns the node's live profile.
+func (n *Node) Profile() *tagging.Profile { return n.profile }
+
+// PersonalNetwork returns the node's personal network.
+func (n *Node) PersonalNetwork() *PersonalNetwork { return n.pnet }
+
+// View returns the node's random view.
+func (n *Node) View() *gossip.View { return n.view }
+
+// digest returns the current digest of the node's own profile, recomputing
+// it only when the profile changed.
+func (n *Node) digest() *tagging.Digest {
+	if n.ownDigest == nil || n.ownDigest.Version != n.profile.Version() {
+		n.ownDigest = tagging.NewDigest(n.profile.Snapshot(), n.e.cfg.BloomBits, n.e.cfg.BloomHashes)
+	}
+	return n.ownDigest
+}
+
+// descriptor returns the node's own peer-sampling descriptor with a fresh
+// digest.
+func (n *Node) descriptor() gossip.Descriptor {
+	return gossip.Descriptor{Node: n.id, Digest: n.digest()}
+}
+
+// checkEvalCache invalidates the evaluated memo when the own profile
+// changed since it was built.
+func (n *Node) checkEvalCache() {
+	if n.evalVersion != n.profile.Version() {
+		n.evaluated = make(map[tagging.UserID]int)
+		n.evalVersion = n.profile.Version()
+	}
+}
+
+// offer is a profile advertisement inside a gossip message: the digest that
+// is actually transmitted in step 1, plus the snapshot the advertiser would
+// serve in steps 2-3. Holding the snapshot is simulation convenience only —
+// its bytes are charged exactly when the corresponding protocol step
+// transfers them.
+type offer struct {
+	digest *tagging.Digest
+	snap   tagging.Snapshot
+}
+
+// advertise builds the gossip payload of the top layer (§2.2.1): the node's
+// own profile plus a random subset of at most MaxDigestsPerGossip stored
+// neighbour profiles ("if more than 50 profiles are stored ... 50 random
+// ones among them are exchanged ... Otherwise, all the profiles are
+// exchanged").
+func (n *Node) advertise() []offer {
+	stored := n.pnet.StoredEntries()
+	max := n.e.cfg.MaxDigestsPerGossip
+	out := make([]offer, 0, 1+min(len(stored), max))
+	out = append(out, offer{digest: n.digest(), snap: n.profile.Snapshot()})
+	if len(stored) <= max {
+		for _, e := range stored {
+			out = append(out, offer{digest: e.Digest, snap: e.Stored})
+		}
+		return out
+	}
+	for _, i := range n.rng.Sample(len(stored), max) {
+		e := stored[i]
+		out = append(out, offer{digest: e.Digest, snap: e.Stored})
+	}
+	return out
+}
+
+// offersWireSize is the step-1 cost of a digest batch.
+func offersWireSize(offers []offer) int {
+	b := 0
+	for _, o := range offers {
+		b += o.digest.SizeBytes()
+	}
+	return b
+}
+
+// KnownProfiles returns the profiles this node can read locally: her own
+// plus the stored snapshots of her personal network. Extensions (such as
+// personalized query expansion, §4) build their per-user statistics from
+// exactly this set — the information P3Q already maintains.
+func (n *Node) KnownProfiles() []tagging.Snapshot { return n.storedSnapshots() }
+
+// storedSnapshots returns the profiles this node can evaluate a query
+// against: her own plus the stored neighbour snapshots (the paper's
+// GoodProfiles before restriction to a remaining list).
+func (n *Node) storedSnapshots() []tagging.Snapshot {
+	stored := n.pnet.StoredEntries()
+	out := make([]tagging.Snapshot, 0, 1+len(stored))
+	out = append(out, n.profile.Snapshot())
+	for _, e := range stored {
+		out = append(out, e.Stored)
+	}
+	return out
+}
+
+// lookup returns the snapshot this node stores for user ul, if any: her own
+// profile or a stored neighbour replica ("These profiles can be either her
+// own profile or those stored in her personal network", §2.3).
+func (n *Node) lookup(ul tagging.UserID) (tagging.Snapshot, bool) {
+	if ul == n.id {
+		return n.profile.Snapshot(), true
+	}
+	if e := n.pnet.Entry(ul); e != nil && e.Stored.Valid() {
+		return e.Stored, true
+	}
+	return tagging.Snapshot{}, false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

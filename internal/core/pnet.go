@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sort"
+
+	"p3q/internal/tagging"
+)
+
+// Entry is one neighbour of a personal network (§2.1): a similar user, her
+// similarity score, the latest known digest of her profile, a gossip-age
+// timestamp, and — for the c most similar neighbours — a stored snapshot of
+// her profile.
+type Entry struct {
+	ID    tagging.UserID
+	Score int
+	// Digest is the latest known digest of the neighbour's profile.
+	Digest *tagging.Digest
+	// Timestamp counts for how many cycles the neighbour has not been
+	// gossiped with (0 = just gossiped or just added).
+	Timestamp int
+	// Stored is the locally stored snapshot of the neighbour's profile; the
+	// zero Snapshot (invalid) when the neighbour is outside the top-c.
+	Stored tagging.Snapshot
+	// rank caches the entry's position after the last rebalance.
+	rank int
+}
+
+// StoredFresh reports whether the stored snapshot is at least as recent as
+// the latest known digest.
+func (e *Entry) StoredFresh() bool {
+	return e.Stored.Valid() && e.Stored.Version() >= e.Digest.Version
+}
+
+// PersonalNetwork is the top-layer state of one node: up to s scored
+// neighbours ranked by similarity, with snapshots stored for the top c.
+type PersonalNetwork struct {
+	self    tagging.UserID
+	s, c    int
+	entries map[tagging.UserID]*Entry
+	ranking []*Entry // descending score, ascending ID; valid when !dirty
+	dirty   bool
+}
+
+// NewPersonalNetwork returns an empty personal network with the given
+// capacities.
+func NewPersonalNetwork(self tagging.UserID, s, c int) *PersonalNetwork {
+	if c > s {
+		c = s
+	}
+	return &PersonalNetwork{
+		self:    self,
+		s:       s,
+		c:       c,
+		entries: make(map[tagging.UserID]*Entry),
+	}
+}
+
+// Len returns the number of neighbours.
+func (pn *PersonalNetwork) Len() int { return len(pn.entries) }
+
+// S returns the personal network capacity.
+func (pn *PersonalNetwork) S() int { return pn.s }
+
+// C returns the profile storage capacity.
+func (pn *PersonalNetwork) C() int { return pn.c }
+
+// Entry returns the neighbour entry for id, or nil.
+func (pn *PersonalNetwork) Entry(id tagging.UserID) *Entry { return pn.entries[id] }
+
+// Contains reports whether id is a neighbour.
+func (pn *PersonalNetwork) Contains(id tagging.UserID) bool {
+	_, ok := pn.entries[id]
+	return ok
+}
+
+// Upsert adds the neighbour or updates its score and digest, and returns
+// the entry. New entries start with timestamp 0, per §2.2.1. Scores must be
+// positive; Upsert panics otherwise (callers filter).
+func (pn *PersonalNetwork) Upsert(id tagging.UserID, score int, digest *tagging.Digest) *Entry {
+	if score <= 0 {
+		panic("core: Upsert with non-positive score")
+	}
+	if id == pn.self {
+		panic("core: Upsert of self")
+	}
+	e := pn.entries[id]
+	if e == nil {
+		e = &Entry{ID: id, Score: score, Digest: digest}
+		pn.entries[id] = e
+	} else {
+		e.Score = score
+		e.Digest = digest
+	}
+	pn.dirty = true
+	return e
+}
+
+// Ranking returns the neighbours ordered by descending score (ties:
+// ascending ID). The slice aliases internal state; do not modify.
+func (pn *PersonalNetwork) Ranking() []*Entry {
+	pn.rebuild()
+	return pn.ranking
+}
+
+func (pn *PersonalNetwork) rebuild() {
+	if !pn.dirty {
+		return
+	}
+	pn.ranking = pn.ranking[:0]
+	for _, e := range pn.entries {
+		pn.ranking = append(pn.ranking, e)
+	}
+	sort.Slice(pn.ranking, func(i, j int) bool {
+		a, b := pn.ranking[i], pn.ranking[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.ID < b.ID
+	})
+	for i, e := range pn.ranking {
+		e.rank = i
+	}
+	pn.dirty = false
+}
+
+// Rebalance enforces the capacity rules after a batch of Upserts: only the
+// s best neighbours are kept, and only the c best keep stored profiles. It
+// returns the entries now inside the top-c whose stored snapshot is missing
+// or stale — the caller must fetch those (step 3 of Algorithm 1).
+func (pn *PersonalNetwork) Rebalance() (needStore []*Entry) {
+	pn.rebuild()
+	// Evict beyond s.
+	for len(pn.ranking) > pn.s {
+		last := pn.ranking[len(pn.ranking)-1]
+		delete(pn.entries, last.ID)
+		pn.ranking = pn.ranking[:len(pn.ranking)-1]
+	}
+	for i, e := range pn.ranking {
+		if i < pn.c {
+			if !e.StoredFresh() {
+				needStore = append(needStore, e)
+			}
+		} else if e.Stored.Valid() {
+			// Pushed out of the top-c: the replica is dropped to keep the
+			// local storage within bounds (§2.1).
+			e.Stored = tagging.Snapshot{}
+		}
+	}
+	return needStore
+}
+
+// Members returns the neighbour IDs in rank order.
+func (pn *PersonalNetwork) Members() []tagging.UserID {
+	pn.rebuild()
+	out := make([]tagging.UserID, len(pn.ranking))
+	for i, e := range pn.ranking {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// StoredEntries returns the entries currently holding a profile snapshot,
+// in rank order.
+func (pn *PersonalNetwork) StoredEntries() []*Entry {
+	pn.rebuild()
+	var out []*Entry
+	for _, e := range pn.ranking {
+		if e.Stored.Valid() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Unstored returns the neighbour IDs whose profiles are not locally stored,
+// in rank order. This is the initial remaining list of a query (§2.2.2).
+func (pn *PersonalNetwork) Unstored() []tagging.UserID {
+	pn.rebuild()
+	var out []tagging.UserID
+	for _, e := range pn.ranking {
+		if !e.Stored.Valid() {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// PartnersByAge returns the neighbours ordered by decreasing timestamp
+// (oldest gossip first; ties: ascending ID) — the lazy-mode partner
+// preference of §2.2.1.
+func (pn *PersonalNetwork) PartnersByAge() []*Entry {
+	pn.rebuild()
+	out := make([]*Entry, len(pn.ranking))
+	copy(out, pn.ranking)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Timestamp != out[j].Timestamp {
+			return out[i].Timestamp > out[j].Timestamp
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Touch records a gossip with the given partner: its timestamp resets to 0
+// and every other neighbour's timestamp increments by 1 (§2.2.1).
+func (pn *PersonalNetwork) Touch(partner tagging.UserID) {
+	for _, e := range pn.entries {
+		if e.ID == partner {
+			e.Timestamp = 0
+		} else {
+			e.Timestamp++
+		}
+	}
+}
+
+// ResetTimestamp zeroes the partner's timestamp without aging the others;
+// used on the receiving side of a gossip.
+func (pn *PersonalNetwork) ResetTimestamp(partner tagging.UserID) {
+	if e := pn.entries[partner]; e != nil {
+		e.Timestamp = 0
+	}
+}

@@ -1,0 +1,132 @@
+// Package expansion implements personalized query expansion on top of P3Q —
+// the application direction the paper singles out in §1 and §4 ("our
+// contribution ... is not limited to top-k processing: we believe that it
+// could be used in the context of personalized query expansion").
+//
+// A query's tags are expanded with the tags that co-occur most strongly
+// with them on the same items *within the querier's locally known profiles*
+// — her own plus the stored snapshots of her personal network, exactly the
+// information P3Q already maintains. Because those profiles belong to her
+// implicit acquaintances, two users expand the same tag differently: for a
+// computer scientist "matrix" grows toward {linearalgebra, eigenvalues},
+// for a film fan toward {scifi, keanureeves} — the §1 disambiguation story,
+// applied at query time.
+package expansion
+
+import (
+	"sort"
+
+	"p3q/internal/tagging"
+)
+
+// Expander holds the personalized tag co-occurrence statistics of one user.
+// Build it with New from the profiles the user knows locally; it is
+// read-only afterwards and safe for concurrent use.
+type Expander struct {
+	// cooc[t][u] counts, over all known profiles and items, how often tags
+	// t and u were used together on the same item by the same user.
+	cooc map[tagging.TagID]map[tagging.TagID]int
+	// freq[t] counts the (item, user) pairs tag t appears in.
+	freq map[tagging.TagID]int
+}
+
+// New builds the co-occurrence statistics from a set of profile snapshots.
+func New(profiles []tagging.Snapshot) *Expander {
+	x := &Expander{
+		cooc: make(map[tagging.TagID]map[tagging.TagID]int),
+		freq: make(map[tagging.TagID]int),
+	}
+	for _, p := range profiles {
+		x.addProfile(p)
+	}
+	return x
+}
+
+func (x *Expander) addProfile(p tagging.Snapshot) {
+	// Group the profile's actions by item; each item's tag set contributes
+	// one co-occurrence per unordered tag pair.
+	byItem := make(map[tagging.ItemID][]tagging.TagID)
+	for _, a := range p.Actions() {
+		byItem[a.Item] = append(byItem[a.Item], a.Tag)
+	}
+	for _, tags := range byItem {
+		for _, t := range tags {
+			x.freq[t]++
+		}
+		for i := 0; i < len(tags); i++ {
+			for j := 0; j < len(tags); j++ {
+				if i == j {
+					continue
+				}
+				m := x.cooc[tags[i]]
+				if m == nil {
+					m = make(map[tagging.TagID]int)
+					x.cooc[tags[i]] = m
+				}
+				m[tags[j]]++
+			}
+		}
+	}
+}
+
+// Tags returns the number of distinct tags seen.
+func (x *Expander) Tags() int { return len(x.freq) }
+
+// Cooccurrence returns how often two tags were used together on an item.
+func (x *Expander) Cooccurrence(t, u tagging.TagID) int { return x.cooc[t][u] }
+
+// Candidate is one expansion suggestion with its affinity to the query.
+type Candidate struct {
+	Tag tagging.TagID
+	// Affinity is the sum over the query tags of
+	// cooc(q, tag)² / freq(tag) — the co-occurrence support weighted by
+	// the precision cooc/freq. The precision factor suppresses globally
+	// popular tags that co-occur with everything; the support factor
+	// suppresses one-off accidental co-occurrences.
+	Affinity float64
+}
+
+// Suggest returns up to n expansion candidates for the query tags, best
+// first (ties broken by ascending tag ID). Query tags themselves are never
+// suggested.
+func (x *Expander) Suggest(query []tagging.TagID, n int) []Candidate {
+	if n <= 0 {
+		return nil
+	}
+	inQuery := make(map[tagging.TagID]struct{}, len(query))
+	for _, t := range query {
+		inQuery[t] = struct{}{}
+	}
+	affinity := make(map[tagging.TagID]float64)
+	for t := range inQuery {
+		for u, c := range x.cooc[t] {
+			if _, dup := inQuery[u]; dup {
+				continue
+			}
+			affinity[u] += float64(c) * float64(c) / float64(x.freq[u])
+		}
+	}
+	out := make([]Candidate, 0, len(affinity))
+	for tag, a := range affinity {
+		out = append(out, Candidate{Tag: tag, Affinity: a})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Affinity != out[j].Affinity {
+			return out[i].Affinity > out[j].Affinity
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Expand returns the query tags followed by up to n suggested tags.
+func (x *Expander) Expand(query []tagging.TagID, n int) []tagging.TagID {
+	out := append([]tagging.TagID(nil), query...)
+	for _, c := range x.Suggest(query, n) {
+		out = append(out, c.Tag)
+	}
+	return out
+}

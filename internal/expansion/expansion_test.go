@@ -1,0 +1,189 @@
+package expansion
+
+import (
+	"testing"
+
+	"p3q/internal/tagging"
+	"p3q/internal/trace"
+)
+
+// twoTopicProfiles builds profiles where tags 1,2,3 always co-occur on
+// items 10x and tags 7,8 on items 20x.
+func twoTopicProfiles() []tagging.Snapshot {
+	var snaps []tagging.Snapshot
+	for u := 0; u < 5; u++ {
+		p := tagging.NewProfile(tagging.UserID(u))
+		for i := 0; i < 4; i++ {
+			it := tagging.ItemID(100 + i)
+			p.Add(it, 1)
+			p.Add(it, 2)
+			if i%2 == 0 {
+				p.Add(it, 3)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			it := tagging.ItemID(200 + i)
+			p.Add(it, 7)
+			p.Add(it, 8)
+		}
+		snaps = append(snaps, p.Snapshot())
+	}
+	return snaps
+}
+
+func TestCooccurrenceCounts(t *testing.T) {
+	x := New(twoTopicProfiles())
+	// Tags 1 and 2 co-occur on 4 items x 5 users = 20 times.
+	if got := x.Cooccurrence(1, 2); got != 20 {
+		t.Fatalf("cooc(1,2) = %d, want 20", got)
+	}
+	if x.Cooccurrence(1, 2) != x.Cooccurrence(2, 1) {
+		t.Fatal("co-occurrence not symmetric")
+	}
+	if got := x.Cooccurrence(1, 7); got != 0 {
+		t.Fatalf("cross-topic cooc = %d, want 0", got)
+	}
+}
+
+func TestSuggestStaysOnTopic(t *testing.T) {
+	x := New(twoTopicProfiles())
+	got := x.Suggest([]tagging.TagID{1}, 3)
+	if len(got) == 0 {
+		t.Fatal("no suggestions")
+	}
+	for _, c := range got {
+		if c.Tag == 7 || c.Tag == 8 {
+			t.Fatalf("cross-topic tag %d suggested for tag 1", c.Tag)
+		}
+		if c.Tag == 1 {
+			t.Fatal("query tag suggested as its own expansion")
+		}
+		if c.Affinity <= 0 {
+			t.Fatalf("non-positive affinity %f", c.Affinity)
+		}
+	}
+	// Tag 2 (always with 1) must outrank tag 3 (half the time).
+	if got[0].Tag != 2 {
+		t.Fatalf("top suggestion = %d, want 2", got[0].Tag)
+	}
+}
+
+func TestSuggestLimitsAndOrder(t *testing.T) {
+	x := New(twoTopicProfiles())
+	if got := x.Suggest([]tagging.TagID{1}, 1); len(got) != 1 {
+		t.Fatalf("Suggest(.., 1) returned %d", len(got))
+	}
+	if got := x.Suggest([]tagging.TagID{1}, 0); got != nil {
+		t.Fatal("Suggest(.., 0) should return nil")
+	}
+	all := x.Suggest([]tagging.TagID{1}, 100)
+	for i := 1; i < len(all); i++ {
+		if all[i].Affinity > all[i-1].Affinity {
+			t.Fatal("suggestions not sorted by descending affinity")
+		}
+	}
+}
+
+func TestExpandPrependsQuery(t *testing.T) {
+	x := New(twoTopicProfiles())
+	got := x.Expand([]tagging.TagID{1, 2}, 2)
+	if len(got) < 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Expand lost the original query: %v", got)
+	}
+	seen := make(map[tagging.TagID]bool)
+	for _, tg := range got {
+		if seen[tg] {
+			t.Fatalf("duplicate tag %d in expanded query %v", tg, got)
+		}
+		seen[tg] = true
+	}
+}
+
+func TestEmptyExpander(t *testing.T) {
+	x := New(nil)
+	if x.Tags() != 0 {
+		t.Fatal("empty expander has tags")
+	}
+	if got := x.Suggest([]tagging.TagID{1}, 5); len(got) != 0 {
+		t.Fatalf("empty expander suggested %v", got)
+	}
+	if got := x.Expand([]tagging.TagID{1}, 5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("empty expander Expand = %v", got)
+	}
+}
+
+func TestPersonalizationDiffersAcrossUsers(t *testing.T) {
+	// Two disjoint communities: expansion of the shared tag must differ
+	// depending on whose profiles feed the expander — the §1 story.
+	shared := tagging.TagID(0)
+	mkCommunity := func(base tagging.ItemID, topicTag tagging.TagID, owner tagging.UserID) tagging.Snapshot {
+		p := tagging.NewProfile(owner)
+		for i := 0; i < 5; i++ {
+			p.Add(base+tagging.ItemID(i), shared)
+			p.Add(base+tagging.ItemID(i), topicTag)
+		}
+		return p.Snapshot()
+	}
+	mathView := New([]tagging.Snapshot{mkCommunity(100, 10, 0), mkCommunity(100, 10, 1)})
+	filmView := New([]tagging.Snapshot{mkCommunity(200, 20, 2), mkCommunity(200, 20, 3)})
+	m := mathView.Suggest([]tagging.TagID{shared}, 1)
+	f := filmView.Suggest([]tagging.TagID{shared}, 1)
+	if len(m) != 1 || len(f) != 1 {
+		t.Fatal("missing suggestions")
+	}
+	if m[0].Tag != 10 || f[0].Tag != 20 {
+		t.Fatalf("personalized expansions wrong: math=%d film=%d", m[0].Tag, f[0].Tag)
+	}
+}
+
+func TestExpanderOnGeneratedTrace(t *testing.T) {
+	params := trace.DefaultGenParams(100)
+	params.MeanItems = 20
+	params.Seed = 4
+	ds := trace.Generate(params)
+	var snaps []tagging.Snapshot
+	for _, p := range ds.Profiles[:20] {
+		snaps = append(snaps, p.Snapshot())
+	}
+	x := New(snaps)
+	if x.Tags() == 0 {
+		t.Fatal("no tags indexed from generated trace")
+	}
+	// Expanding a real profile's item tags yields suggestions for most
+	// non-trivial queries.
+	q := ds.Profiles[0].TagsFor(ds.Profiles[0].Items()[0])
+	got := x.Expand(q, 3)
+	if len(got) < len(q) {
+		t.Fatal("Expand dropped query tags")
+	}
+}
+
+func TestFrequencyNormalizationSuppressesGenericTags(t *testing.T) {
+	// A "generic" tag co-occurring with everything everywhere must rank
+	// below a specific tag with the same raw co-occurrence count against
+	// the query tag.
+	var snaps []tagging.Snapshot
+	generic, specific, query := tagging.TagID(1), tagging.TagID(2), tagging.TagID(3)
+	p := tagging.NewProfile(0)
+	// 3 items with query+generic+specific.
+	for i := 0; i < 3; i++ {
+		it := tagging.ItemID(i)
+		p.Add(it, query)
+		p.Add(it, generic)
+		p.Add(it, specific)
+	}
+	// 30 unrelated items inflate the generic tag's frequency.
+	for i := 10; i < 40; i++ {
+		p.Add(tagging.ItemID(i), generic)
+		p.Add(tagging.ItemID(i), tagging.TagID(100+i))
+	}
+	snaps = append(snaps, p.Snapshot())
+	x := New(snaps)
+	got := x.Suggest([]tagging.TagID{query}, 2)
+	if len(got) < 2 {
+		t.Fatalf("want 2 suggestions, got %v", got)
+	}
+	if got[0].Tag != specific {
+		t.Fatalf("specific tag should outrank the generic one: %v", got)
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p3q/internal/metrics"
+	"p3q/internal/topk"
+)
+
+// fig11Departures are the departure fractions swept by Figure 11.
+var fig11Departures = []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}
+
+// Fig11a reproduces Figure 11(a): the evolution of average recall over
+// eager cycles when a fraction p of users departs simultaneously before the
+// queries are issued, in the lambda=1 scenario. The paper's observations to
+// reproduce: recall improves slower as p grows, yet even massive departures
+// leave most relevant items retrievable within 10 cycles.
+func Fig11a(cfg Config) []*metrics.Table {
+	return []*metrics.Table{churnRecall(cfg, 1)}
+}
+
+// Fig11b reproduces Figure 11(b): the same in the lambda=4 scenario, where
+// larger stores mean more replicas and hence better resilience.
+func Fig11b(cfg Config) []*metrics.Table {
+	return []*metrics.Table{churnRecall(cfg, 4)}
+}
+
+func churnRecall(cfg Config, lambda float64) *metrics.Table {
+	cycles := cfg.Cycles / 2
+	if cycles < 10 {
+		cycles = 10
+	}
+	header := []string{"cycle"}
+	for _, p := range fig11Departures {
+		header = append(header, fmt.Sprintf("p=%.0f%%", p*100))
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("Figure 11 — average recall under departures (lambda=%g)", lambda), header...)
+
+	curves := make([][]float64, len(fig11Departures))
+	for pi, p := range fig11Departures {
+		w := NewWorld(cfg)
+		e := w.SeededEngine(w.HeteroConfig(lambda))
+		e.Kill(p)
+		// The baseline stays the full-information one: the querier wants
+		// the items her whole personal network would have provided.
+		refs := make([][]topk.Entry, 0, len(w.Queries))
+		var runs []int
+		for _, q := range w.Queries {
+			qr := e.IssueQuery(q)
+			if qr == nil {
+				continue // departed querier
+			}
+			runs = append(runs, len(refs))
+			refs = append(refs, w.Central.TopK(q))
+		}
+		all := e.Queries()
+		avg := func() float64 {
+			vals := make([]float64, 0, len(all))
+			for i, qr := range all {
+				vals = append(vals, topk.Recall(qr.Results(), refs[runs[i]]))
+			}
+			return metrics.Mean(vals)
+		}
+		var curve []float64
+		curve = append(curve, avg())
+		for c := 0; c < cycles; c++ {
+			e.EagerCycle()
+			curve = append(curve, avg())
+		}
+		curves[pi] = curve
+	}
+	for cyc := 0; cyc <= cycles; cyc++ {
+		row := []string{cycleLabel(cyc)}
+		for pi := range fig11Departures {
+			row = append(row, metrics.F(curves[pi][cyc], 3))
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// Fig11c reproduces Figure 11(c): the percentage of queries that cannot
+// reach recall 1 no matter how long the querier waits, because some
+// personal-network profiles are no longer available anywhere among the
+// online nodes. The paper's observation to reproduce: the fraction grows
+// with the departure percentage and is much smaller for lambda=4 (more
+// replicas; < 5% even at 50% departures at paper scale).
+func Fig11c(cfg Config) []*metrics.Table {
+	departures := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	t := metrics.NewTable("Figure 11c — % of queries unable to reach recall 1",
+		"departure %", "l=1", "l=4")
+	cycles := cfg.Cycles * 3
+
+	results := make(map[float64][2]float64)
+	for li, lambda := range []float64{1, 4} {
+		for _, p := range departures {
+			w := NewWorld(cfg)
+			e := w.SeededEngine(w.HeteroConfig(lambda))
+			e.Kill(p)
+			issued := 0
+			var refs [][]topk.Entry
+			for _, q := range w.Queries {
+				qr := e.IssueQuery(q)
+				if qr == nil {
+					continue
+				}
+				issued++
+				refs = append(refs, w.Central.TopK(q))
+			}
+			e.RunEager(cycles)
+			incomplete := 0
+			for i, qr := range e.Queries() {
+				if topk.Recall(qr.Results(), refs[i]) < 1 {
+					incomplete++
+				}
+			}
+			pct := 0.0
+			if issued > 0 {
+				pct = 100 * float64(incomplete) / float64(issued)
+			}
+			r := results[p]
+			r[li] = pct
+			results[p] = r
+		}
+	}
+	for _, p := range departures {
+		r := results[p]
+		t.Add(fmt.Sprintf("%.0f", p*100), metrics.F(r[0], 1), metrics.F(r[1], 1))
+	}
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p3q/internal/core"
+	"p3q/internal/metrics"
+	"p3q/internal/tagging"
+)
+
+// Fig2 reproduces Figure 2: the convergence speed of personal networks in
+// lazy mode. For every uniform storage scenario c, nodes start with empty
+// personal networks and bootstrap random views only; the average success
+// ratio against the offline-computed ideal networks is sampled as lazy
+// cycles accumulate. The paper's observations to reproduce: more stored
+// profiles converge faster, and even c=10 identifies most neighbours
+// eventually.
+func Fig2(cfg Config) []*metrics.Table {
+	w := NewWorld(cfg)
+	cValues := cfg.UniformCValues()
+	cycles := cfg.Cycles * 5 // Figure 2 runs to 500 cycles at paper scale
+	step := cycles / 20
+	if step < 1 {
+		step = 1
+	}
+
+	header := []string{"cycle"}
+	for _, c := range cValues {
+		header = append(header, fmt.Sprintf("c=%d", c))
+	}
+	t := metrics.NewTable("Figure 2 — average success ratio vs lazy cycles", header...)
+
+	curves := make([][]float64, len(cValues))
+	var sampledCycles []int
+	for ci, c := range cValues {
+		e := core.New(w.DS, w.CoreConfig(c))
+		e.Bootstrap()
+		var curve []float64
+		record := func() { curve = append(curve, avgSuccessRatio(e, w)) }
+		record()
+		for cyc := 1; cyc <= cycles; cyc++ {
+			e.LazyCycle()
+			if cyc%step == 0 {
+				record()
+			}
+		}
+		curves[ci] = curve
+		if ci == 0 {
+			sampledCycles = append(sampledCycles, 0)
+			for cyc := step; cyc <= cycles; cyc += step {
+				sampledCycles = append(sampledCycles, cyc)
+			}
+		}
+	}
+	for i, cyc := range sampledCycles {
+		row := []string{cycleLabel(cyc)}
+		for ci := range cValues {
+			row = append(row, metrics.F(curves[ci][i], 3))
+		}
+		t.Add(row...)
+	}
+	return []*metrics.Table{t}
+}
+
+// avgSuccessRatio measures §3.2.1's success ratio averaged over all users.
+func avgSuccessRatio(e *core.Engine, w *World) float64 {
+	vals := make([]float64, 0, e.Users())
+	for u := 0; u < e.Users(); u++ {
+		scores := make(map[tagging.UserID]int)
+		for _, entry := range e.Node(tagging.UserID(u)).PersonalNetwork().Ranking() {
+			scores[entry.ID] = entry.Score
+		}
+		vals = append(vals, metrics.SuccessRatio(scores, w.Ideal[u]))
+	}
+	return metrics.Mean(vals)
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"p3q/internal/metrics"
+)
+
+// fig3Alphas are the split parameters swept by Figure 3.
+var fig3Alphas = []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9, 1}
+
+// Fig3 reproduces Figure 3: the evolution of average recall over eager
+// cycles for different values of the split parameter alpha, with c=10.
+// The paper's observations to reproduce: alpha=0.5 converges fastest, the
+// closer alpha is to 0.5 the faster, and the extremes (0: chain routing;
+// 1: querier asks neighbours one by one) are slowest — confirming
+// Theorem 2.2 empirically.
+func Fig3(cfg Config) []*metrics.Table {
+	w := NewWorld(cfg)
+	cycles := cfg.Cycles
+
+	header := []string{"cycle"}
+	for _, a := range fig3Alphas {
+		header = append(header, fmt.Sprintf("a=%.1f", a))
+	}
+	t := metrics.NewTable("Figure 3 — average recall vs cycles, alpha sweep (c=10)", header...)
+
+	curves := make([][]float64, len(fig3Alphas))
+	for ai, alpha := range fig3Alphas {
+		cc := w.CoreConfig(10)
+		cc.Alpha = alpha
+		curves[ai] = w.RecallCurve(w.SeededEngine(cc), cycles)
+	}
+	for cyc := 0; cyc <= cycles; cyc++ {
+		row := []string{cycleLabel(cyc)}
+		for ai := range fig3Alphas {
+			row = append(row, metrics.F(curves[ai][cyc], 3))
+		}
+		t.Add(row...)
+	}
+	return []*metrics.Table{t}
+}
+
+// Fig4 reproduces Figure 4: the evolution of average recall over eager
+// cycles for the uniform storage scenarios, with alpha=0.5. The paper's
+// observations to reproduce: all scenarios reach recall 1 within ~10
+// cycles, larger c starts higher and finishes sooner, and the first cycle
+// brings the largest improvement.
+func Fig4(cfg Config) []*metrics.Table {
+	w := NewWorld(cfg)
+	cycles := cfg.Cycles / 2
+	if cycles < 10 {
+		cycles = 10
+	}
+	cValues := cfg.UniformCValues()
+
+	header := []string{"cycle"}
+	for _, c := range cValues {
+		header = append(header, fmt.Sprintf("c=%d", c))
+	}
+	t := metrics.NewTable("Figure 4 — average recall vs cycles, c sweep (alpha=0.5)", header...)
+
+	curves := make([][]float64, len(cValues))
+	for ci, c := range cValues {
+		curves[ci] = w.RecallCurve(w.SeededEngine(w.CoreConfig(c)), cycles)
+	}
+	for cyc := 0; cyc <= cycles; cyc++ {
+		row := []string{cycleLabel(cyc)}
+		for ci := range cValues {
+			row = append(row, metrics.F(curves[ci][cyc], 3))
+		}
+		t.Add(row...)
+	}
+	return []*metrics.Table{t}
+}

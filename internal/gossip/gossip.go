@@ -1,0 +1,148 @@
+// Package gossip implements the bottom layer of P3Q's two-layer gossip: the
+// random peer sampling protocol (Jelasity et al., "Gossip-based peer
+// sampling") that maintains each user's random view. Per §2.2.1 of the
+// paper: "at each cycle, a user ui sends the r digests to a neighbour vj
+// picked uniformly at random from her random view and receives r digests
+// from vj. Then r digests among the 2r digests are randomly selected to
+// form the new random view."
+//
+// The random view keeps the overlay connected regardless of how clustered
+// the personal networks become, and surfaces new similarity candidates to
+// the top layer.
+package gossip
+
+import (
+	"p3q/internal/randx"
+	"p3q/internal/tagging"
+)
+
+// Descriptor is one view entry: a node and the latest known digest of its
+// profile. (The paper also exchanges contact information — IP and port —
+// which the simulation does not need; its wire size is absorbed in the
+// digest's.)
+type Descriptor struct {
+	Node   tagging.UserID
+	Digest *tagging.Digest
+}
+
+// View is a node's random view: up to capacity descriptors of peers sampled
+// approximately uniformly from the network.
+type View struct {
+	self     tagging.UserID
+	capacity int
+	entries  []Descriptor
+}
+
+// NewView returns an empty view for the given node.
+func NewView(self tagging.UserID, capacity int) *View {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &View{self: self, capacity: capacity}
+}
+
+// Capacity returns the view size r.
+func (v *View) Capacity() int { return v.capacity }
+
+// Size returns the current number of descriptors.
+func (v *View) Size() int { return len(v.entries) }
+
+// Entries returns the current descriptors. The returned slice aliases the
+// view and must not be modified.
+func (v *View) Entries() []Descriptor { return v.entries }
+
+// Bootstrap seeds the view with initial peers (deduplicated, self excluded,
+// truncated to capacity).
+func (v *View) Bootstrap(peers []Descriptor) {
+	v.entries = v.entries[:0]
+	seen := make(map[tagging.UserID]struct{}, len(peers))
+	for _, d := range peers {
+		if d.Node == v.self {
+			continue
+		}
+		if _, dup := seen[d.Node]; dup {
+			continue
+		}
+		seen[d.Node] = struct{}{}
+		v.entries = append(v.entries, d)
+		if len(v.entries) == v.capacity {
+			break
+		}
+	}
+}
+
+// SelectPartner picks a gossip partner uniformly at random from the view.
+// ok is false when the view is empty.
+func (v *View) SelectPartner(rng *randx.Source) (Descriptor, bool) {
+	if len(v.entries) == 0 {
+		return Descriptor{}, false
+	}
+	return v.entries[rng.Intn(len(v.entries))], true
+}
+
+// SendBuffer returns the descriptors to ship to a partner: this node's own
+// fresh descriptor plus a random sample of the view, at most capacity in
+// total. Including the own descriptor is what lets new nodes become known —
+// the paper's "contact information of the corresponding users is also
+// exchanged".
+func (v *View) SendBuffer(self Descriptor, rng *randx.Source) []Descriptor {
+	out := make([]Descriptor, 0, v.capacity)
+	out = append(out, self)
+	if len(v.entries) > 0 {
+		for _, i := range rng.Sample(len(v.entries), v.capacity-1) {
+			out = append(out, v.entries[i])
+		}
+	}
+	return out
+}
+
+// Merge combines the received descriptors with the current view and keeps a
+// uniform random sample of capacity entries, per the paper's "r digests
+// among the 2r digests are randomly selected". Duplicates keep the freshest
+// digest (highest version); the node's own descriptor is dropped.
+func (v *View) Merge(received []Descriptor, rng *randx.Source) {
+	byNode := make(map[tagging.UserID]Descriptor, len(v.entries)+len(received))
+	order := make([]tagging.UserID, 0, len(v.entries)+len(received))
+	add := func(d Descriptor) {
+		if d.Node == v.self || d.Digest == nil {
+			return
+		}
+		if prev, ok := byNode[d.Node]; ok {
+			if d.Digest.Version > prev.Digest.Version {
+				byNode[d.Node] = d
+			}
+			return
+		}
+		byNode[d.Node] = d
+		order = append(order, d.Node)
+	}
+	for _, d := range v.entries {
+		add(d)
+	}
+	for _, d := range received {
+		add(d)
+	}
+	// Uniform random subset of size capacity, in deterministic order.
+	if len(order) > v.capacity {
+		picked := rng.Sample(len(order), v.capacity)
+		kept := make([]tagging.UserID, 0, v.capacity)
+		for _, i := range picked {
+			kept = append(kept, order[i])
+		}
+		order = kept
+	}
+	v.entries = v.entries[:0]
+	for _, id := range order {
+		v.entries = append(v.entries, byNode[id])
+	}
+}
+
+// Remove drops the descriptor of a node (e.g. one detected as departed).
+func (v *View) Remove(node tagging.UserID) {
+	for i, d := range v.entries {
+		if d.Node == node {
+			v.entries = append(v.entries[:i], v.entries[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package randx provides the deterministic randomness substrate for the
+// simulator: a splittable seeded source plus the samplers the experiments
+// need (bounded Zipf for long-tail popularity, Poisson for the heterogeneous
+// storage scenarios of Table 1, log-normal for profile sizes).
+//
+// Determinism contract: every run of an experiment derives all of its
+// randomness from a single root seed through Split, so identical seeds and
+// parameters reproduce identical outputs, independent of map iteration
+// order or goroutine scheduling.
+package randx
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source based on splitmix64. It
+// implements rand.Source64 so it can back a math/rand.Rand, and it supports
+// deterministic splitting into independent child sources.
+type Source struct {
+	state uint64
+}
+
+// NewSource returns a source seeded with the given value.
+func NewSource(seed uint64) *Source { return &Source{state: seed} }
+
+// next advances the splitmix64 state and returns the next value.
+func (s *Source) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 { return s.next() }
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.next() >> 1) }
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// Split derives an independent child source from this source and a label.
+// Two children split with different labels from the same parent state are
+// statistically independent; splitting does not advance the parent, so the
+// set of children is a pure function of (parent state, label).
+func (s *Source) Split(label uint64) *Source {
+	z := s.state ^ (label * 0xd6e8feb86659fd93)
+	z = (z ^ (z >> 32)) * 0xd6e8feb86659fd93
+	z = (z ^ (z >> 32)) * 0xd6e8feb86659fd93
+	return &Source{state: z ^ (z >> 32)}
+}
+
+// Rand wraps the source in a math/rand.Rand for use with the standard
+// library's distribution helpers. The returned Rand shares this source's
+// state: draws through it advance the source.
+func (s *Source) Rand() *rand.Rand { return rand.New(s) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with n <= 0")
+	}
+	return int(s.next() % uint64(n)) // negligible modulo bias for our n
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Shuffle permutes the n elements using the supplied swap function
+// (Fisher-Yates).
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. If k >= n it returns a permutation of all n values.
+func (s *Source) Sample(n, k int) []int {
+	if k >= n {
+		return s.Perm(n)
+	}
+	// Partial Fisher-Yates over an index map: O(k) space.
+	chosen := make([]int, 0, k)
+	remap := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + s.Intn(n-i)
+		vj, ok := remap[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := remap[i]
+		if !ok {
+			vi = i
+		}
+		remap[j] = vi
+		chosen = append(chosen, vj)
+	}
+	return chosen
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (s *Source) NormFloat64() float64 {
+	for {
+		u1 := s.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := s.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// LogNormal returns a log-normal variate with the given parameters of the
+// underlying normal (mu, sigma).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.NormFloat64())
+}
+
+// Poisson returns a Poisson(lambda) variate using Knuth's product method,
+// adequate for the small lambdas used here (Table 1 uses 1 and 4).
+func (s *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf draws values in [0, n) with probability proportional to
+// 1/(rank+1)^exponent. It is a small bounded Zipf sampler built on the
+// standard library generator.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf returns a bounded Zipf sampler over [0, n) with the given
+// exponent (> 1 per math/rand's contract; exponents <= 1 are clamped to
+// 1.0001, which is visually indistinguishable for our workloads).
+func NewZipf(s *Source, exponent float64, n int) *Zipf {
+	if exponent <= 1 {
+		exponent = 1.0001
+	}
+	if n < 1 {
+		n = 1
+	}
+	return &Zipf{z: rand.NewZipf(s.Rand(), exponent, 1, uint64(n-1))}
+}
+
+// Draw returns the next Zipf-distributed value in [0, n).
+func (z *Zipf) Draw() int { return int(z.z.Uint64()) }
+
+// WeightedChoice returns an index in [0, len(weights)) drawn with
+// probability proportional to the weights. Zero-total weights fall back to
+// uniform. It panics on an empty slice.
+func (s *Source) WeightedChoice(weights []float64) int {
+	if len(weights) == 0 {
+		panic("randx: WeightedChoice with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total == 0 {
+		return s.Intn(len(weights))
+	}
+	x := s.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,86 @@
+package randx
+
+import "math"
+
+// StorageClasses are the per-user stored-profile capacities c considered by
+// the paper's evaluation (Table 1 and the seven uniform scenarios of §3.1.2).
+var StorageClasses = []int{10, 20, 50, 100, 200, 500, 1000}
+
+// StorageTailMode selects how a Poisson draw larger than the last storage
+// class index is handled when assigning heterogeneous capacities.
+type StorageTailMode int
+
+const (
+	// StorageTailLump maps every draw k >= 6 onto the last class. This
+	// reproduces the paper's lambda=1 row of Table 1 exactly
+	// (36.79, 36.79, 18.39, 6.13, 1.53, 0.31, 0.06 %).
+	StorageTailLump StorageTailMode = iota
+	// StorageTailTruncate redraws until k <= 6, i.e. renormalizes the
+	// Poisson pmf over the seven classes. This reproduces the paper's
+	// lambda=4 row exactly (2.06, 8.25, 16.49, 21.99, 21.99, 17.59,
+	// 11.73 %).
+	StorageTailTruncate
+)
+
+// TailModeFor returns the Table 1 convention matching the given lambda: the
+// paper lumps the tail for lambda=1 and truncates for lambda=4 (the two
+// conventions are numerically indistinguishable at lambda=1). Any other
+// lambda defaults to truncation.
+func TailModeFor(lambda float64) StorageTailMode {
+	if lambda <= 1 {
+		return StorageTailLump
+	}
+	return StorageTailTruncate
+}
+
+// StorageClassPMF returns the analytic probability of each storage class
+// under Poisson(lambda) with the given tail handling. The slice is parallel
+// to StorageClasses.
+func StorageClassPMF(lambda float64, mode StorageTailMode) []float64 {
+	n := len(StorageClasses)
+	pmf := make([]float64, n)
+	// Poisson pmf by recurrence: p(0)=e^-l, p(k)=p(k-1)*l/k.
+	p := math.Exp(-lambda)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			p = p * lambda / float64(k)
+		}
+		pmf[k] = p
+		total += p
+	}
+	switch mode {
+	case StorageTailLump:
+		pmf[n-1] += 1 - total // fold P(k >= n) into the last class
+	case StorageTailTruncate:
+		for k := range pmf {
+			pmf[k] /= total
+		}
+	}
+	return pmf
+}
+
+// DrawStorageClass samples a capacity c from StorageClasses under
+// Poisson(lambda) with the given tail handling.
+func (s *Source) DrawStorageClass(lambda float64, mode StorageTailMode) int {
+	last := len(StorageClasses) - 1
+	for {
+		k := s.Poisson(lambda)
+		if k <= last {
+			return StorageClasses[k]
+		}
+		if mode == StorageTailLump {
+			return StorageClasses[last]
+		}
+		// truncate: redraw
+	}
+}
+
+// AssignStorage draws a capacity for each of n users.
+func (s *Source) AssignStorage(n int, lambda float64, mode StorageTailMode) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = s.DrawStorageClass(lambda, mode)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+// Package tagging defines the data model of a collaborative tagging system
+// as used by the P3Q protocol (Bai et al., EDBT 2010): users, items, tags,
+// tagging actions, and user profiles.
+//
+// A profile is the set of tagging actions performed by one user. P3Q scores
+// the similarity between two users as the number of common tagging actions,
+// i.e. the number of (item, tag) pairs present in both profiles.
+//
+// Profiles are append-only: a tagging action, once performed, is never
+// removed (the paper's dynamics only ever add actions). This makes a
+// consistent point-in-time replica of a profile representable as a prefix of
+// the owner's action log; see Snapshot.
+package tagging
+
+import (
+	"fmt"
+	"sort"
+)
+
+// UserID identifies a user (and, in the simulated network, the node run by
+// that user). IDs are dense: a dataset with n users uses IDs 0..n-1.
+type UserID uint32
+
+// ItemID identifies an item (URL, photo, video...). In the byte-accounting
+// model an item is identified on the wire by a 128-bit hash (see ItemBytes).
+type ItemID uint32
+
+// TagID identifies a tag. Tags are interned strings; see Vocabulary.
+type TagID uint32
+
+// Action is a single tagging action: "the profile owner tagged Item with
+// Tag". The owner is implicit (the profile the action belongs to).
+type Action struct {
+	Item ItemID
+	Tag  TagID
+}
+
+// Key packs the (item, tag) pair into a single comparable 64-bit key.
+func (a Action) Key() uint64 { return uint64(a.Item)<<32 | uint64(a.Tag) }
+
+// ActionFromKey is the inverse of Action.Key.
+func ActionFromKey(k uint64) Action {
+	return Action{Item: ItemID(k >> 32), Tag: TagID(k & 0xffffffff)}
+}
+
+// Profile is the append-only tagging history of one user.
+//
+// The zero value is not usable; create profiles with NewProfile. Profile is
+// not safe for concurrent mutation; concurrent readers are safe as long as
+// no writer is active.
+type Profile struct {
+	owner UserID
+	log   []Action       // append-only action log
+	index map[uint64]int // action key -> position in log
+	items map[ItemID]int // item -> number of actions on it (distinct tags)
+}
+
+// NewProfile returns an empty profile owned by the given user.
+func NewProfile(owner UserID) *Profile {
+	return &Profile{
+		owner: owner,
+		index: make(map[uint64]int),
+		items: make(map[ItemID]int),
+	}
+}
+
+// Owner returns the user owning this profile.
+func (p *Profile) Owner() UserID { return p.owner }
+
+// Len returns the number of tagging actions in the profile. The paper calls
+// this the "length" of the profile and uses it as the storage metric.
+func (p *Profile) Len() int { return len(p.log) }
+
+// Version returns a monotonically increasing version number, incremented by
+// every successful Add. Because profiles are append-only the version equals
+// the profile length; replicas compare versions to detect staleness.
+func (p *Profile) Version() int { return len(p.log) }
+
+// NumItems returns the number of distinct items tagged in the profile.
+func (p *Profile) NumItems() int { return len(p.items) }
+
+// Add records the action (item, tag). It returns false if the exact action
+// was already present (a user tagging the same item with the same tag twice
+// is a no-op, as in delicious).
+func (p *Profile) Add(item ItemID, tag TagID) bool {
+	a := Action{Item: item, Tag: tag}
+	k := a.Key()
+	if _, dup := p.index[k]; dup {
+		return false
+	}
+	p.index[k] = len(p.log)
+	p.log = append(p.log, a)
+	p.items[item]++
+	return true
+}
+
+// AddAll records every action in the list, skipping duplicates, and returns
+// the number actually added.
+func (p *Profile) AddAll(actions []Action) int {
+	n := 0
+	for _, a := range actions {
+		if p.Add(a.Item, a.Tag) {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether the profile contains the exact action (item, tag).
+func (p *Profile) Has(item ItemID, tag TagID) bool {
+	_, ok := p.index[Action{Item: item, Tag: tag}.Key()]
+	return ok
+}
+
+// HasItem reports whether the profile contains any action on the item.
+func (p *Profile) HasItem(item ItemID) bool {
+	_, ok := p.items[item]
+	return ok
+}
+
+// Actions returns the action log. The returned slice must not be modified;
+// it aliases the profile's internal storage.
+func (p *Profile) Actions() []Action { return p.log }
+
+// Items returns the distinct items in the profile, in ascending order.
+func (p *Profile) Items() []ItemID {
+	out := make([]ItemID, 0, len(p.items))
+	for it := range p.items {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TagsFor returns the tags the owner used on the item, in log order.
+func (p *Profile) TagsFor(item ItemID) []TagID {
+	var out []TagID
+	for _, a := range p.log {
+		if a.Item == item {
+			out = append(out, a.Tag)
+		}
+	}
+	return out
+}
+
+// Snapshot returns a point-in-time view of the profile containing its first
+// Version() actions. The snapshot stays consistent even if the owner keeps
+// appending actions afterwards.
+func (p *Profile) Snapshot() Snapshot { return Snapshot{p: p, n: len(p.log)} }
+
+// SnapshotAt returns a view of the first n actions. n is clamped to
+// [0, Len()].
+func (p *Profile) SnapshotAt(n int) Snapshot {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(p.log) {
+		n = len(p.log)
+	}
+	return Snapshot{p: p, n: n}
+}
+
+// CommonScore returns the P3Q similarity score between this profile and the
+// snapshot: the number of tagging actions present in both,
+//
+//	Score(ui, uj) = |Profile(ui) ∩ Profile(uj)|.
+//
+// The score is symmetric: p.CommonScore(q.Snapshot()) equals
+// q.CommonScore(p.Snapshot()).
+func (p *Profile) CommonScore(other Snapshot) int {
+	// Iterate over the smaller side.
+	if other.Len() < len(p.log) {
+		score := 0
+		for _, a := range other.Actions() {
+			if p.Has(a.Item, a.Tag) {
+				score++
+			}
+		}
+		return score
+	}
+	score := 0
+	for _, a := range p.log {
+		if other.Has(a.Item, a.Tag) {
+			score++
+		}
+	}
+	return score
+}
+
+// CommonItems returns the items present in both this profile and the
+// snapshot, in ascending order.
+func (p *Profile) CommonItems(other Snapshot) []ItemID {
+	var out []ItemID
+	for it := range p.items {
+		if other.HasItem(it) {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (p *Profile) String() string {
+	return fmt.Sprintf("profile(user=%d actions=%d items=%d)", p.owner, len(p.log), len(p.items))
+}
+
+// Snapshot is an immutable point-in-time view of a profile: its first n
+// actions. Snapshots are values; copying them is cheap (two words). A
+// snapshot taken from a profile remains valid and unchanged while the owner
+// appends more actions, which is exactly the semantics of a replica stored
+// at a remote node in P3Q.
+type Snapshot struct {
+	p *Profile
+	n int
+}
+
+// Owner returns the user owning the underlying profile.
+func (s Snapshot) Owner() UserID { return s.p.owner }
+
+// Len returns the number of actions visible in the snapshot.
+func (s Snapshot) Len() int { return s.n }
+
+// Version returns the profile version the snapshot was taken at, equal to
+// Len. Comparing against the owner's current Version detects staleness.
+func (s Snapshot) Version() int { return s.n }
+
+// Valid reports whether the snapshot refers to an actual profile (the zero
+// Snapshot is not valid).
+func (s Snapshot) Valid() bool { return s.p != nil }
+
+// Actions returns the visible prefix of the action log. The returned slice
+// must not be modified.
+func (s Snapshot) Actions() []Action { return s.p.log[:s.n] }
+
+// Has reports whether the snapshot contains the exact action.
+func (s Snapshot) Has(item ItemID, tag TagID) bool {
+	pos, ok := s.p.index[Action{Item: item, Tag: tag}.Key()]
+	return ok && pos < s.n
+}
+
+// HasItem reports whether the snapshot contains any action on the item.
+// Note: because the item count map is not versioned, this scans the log
+// prefix only when the snapshot is stale; the common case (fresh snapshot)
+// is a map lookup.
+func (s Snapshot) HasItem(item ItemID) bool {
+	if !s.p.HasItem(item) {
+		return false
+	}
+	if s.n == len(s.p.log) {
+		return true
+	}
+	for _, a := range s.p.log[:s.n] {
+		if a.Item == item {
+			return true
+		}
+	}
+	return false
+}
+
+// Items returns the distinct items visible in the snapshot, ascending.
+func (s Snapshot) Items() []ItemID {
+	if s.n == len(s.p.log) {
+		return s.p.Items()
+	}
+	seen := make(map[ItemID]struct{})
+	for _, a := range s.p.log[:s.n] {
+		seen[a.Item] = struct{}{}
+	}
+	out := make([]ItemID, 0, len(seen))
+	for it := range seen {
+		out = append(out, it)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ActionsOnItems returns the snapshot's actions restricted to the given
+// items. This is the payload of the second step of the 3-step profile
+// exchange ("require her tagging actions for the common items").
+func (s Snapshot) ActionsOnItems(items []ItemID) []Action {
+	want := make(map[ItemID]struct{}, len(items))
+	for _, it := range items {
+		want[it] = struct{}{}
+	}
+	var out []Action
+	for _, a := range s.p.log[:s.n] {
+		if _, ok := want[a.Item]; ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}

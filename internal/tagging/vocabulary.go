@@ -1,0 +1,85 @@
+package tagging
+
+// Vocabulary interns human-readable names for tags and items. The protocol
+// itself only manipulates numeric IDs; the vocabulary exists so that
+// examples and tools can build datasets from named tags ("matrix", "linear
+// algebra", "keanu reeves") and print results readably.
+//
+// The zero value is not usable; create with NewVocabulary. Vocabulary is not
+// safe for concurrent mutation.
+type Vocabulary struct {
+	tagByName  map[string]TagID
+	tagNames   []string
+	itemByName map[string]ItemID
+	itemNames  []string
+}
+
+// NewVocabulary returns an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{
+		tagByName:  make(map[string]TagID),
+		itemByName: make(map[string]ItemID),
+	}
+}
+
+// Tag interns the tag name and returns its ID. Repeated calls with the same
+// name return the same ID.
+func (v *Vocabulary) Tag(name string) TagID {
+	if id, ok := v.tagByName[name]; ok {
+		return id
+	}
+	id := TagID(len(v.tagNames))
+	v.tagByName[name] = id
+	v.tagNames = append(v.tagNames, name)
+	return id
+}
+
+// Item interns the item name and returns its ID.
+func (v *Vocabulary) Item(name string) ItemID {
+	if id, ok := v.itemByName[name]; ok {
+		return id
+	}
+	id := ItemID(len(v.itemNames))
+	v.itemByName[name] = id
+	v.itemNames = append(v.itemNames, name)
+	return id
+}
+
+// TagName returns the interned name for the tag ID, or a placeholder if the
+// ID was never interned.
+func (v *Vocabulary) TagName(id TagID) string {
+	if int(id) < len(v.tagNames) {
+		return v.tagNames[id]
+	}
+	return "tag#" + itoa(uint32(id))
+}
+
+// ItemName returns the interned name for the item ID, or a placeholder.
+func (v *Vocabulary) ItemName(id ItemID) string {
+	if int(id) < len(v.itemNames) {
+		return v.itemNames[id]
+	}
+	return "item#" + itoa(uint32(id))
+}
+
+// NumTags returns the number of interned tags.
+func (v *Vocabulary) NumTags() int { return len(v.tagNames) }
+
+// NumItems returns the number of interned items.
+func (v *Vocabulary) NumItems() int { return len(v.itemNames) }
+
+// itoa converts without pulling in strconv for a hot path that is anything
+// but hot; it simply keeps this file dependency-free.
+func itoa(n uint32) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [10]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

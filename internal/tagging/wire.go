@@ -1,0 +1,38 @@
+package tagging
+
+// Wire-size model from §3.3 of the paper. All bandwidth accounting in the
+// simulator uses these constants so that reported byte counts are comparable
+// with the paper's:
+//
+//   - a user is identified by a 4-byte ID;
+//   - an item (URL) is identified by its 128-bit MD4 hash (16 bytes);
+//   - a tag is represented as a 16-byte string;
+//   - a tagging action therefore takes 36 bytes (item + tag + user ID);
+//   - a relevance score is a 4-byte integer.
+const (
+	UserIDBytes = 4
+	ItemBytes   = 16
+	TagBytes    = 16
+	ActionBytes = ItemBytes + TagBytes + UserIDBytes // 36
+	ScoreBytes  = 4
+)
+
+// ActionsWireSize returns the size in bytes of n tagging actions on the wire.
+func ActionsWireSize(n int) int { return n * ActionBytes }
+
+// ItemsWireSize returns the size in bytes of n item identifiers on the wire.
+func ItemsWireSize(n int) int { return n * ItemBytes }
+
+// UsersWireSize returns the size in bytes of n user identifiers on the wire.
+func UsersWireSize(n int) int { return n * UserIDBytes }
+
+// QueryWireSize returns the size in bytes of a query with n tags: the
+// querier's ID plus the tag strings.
+func QueryWireSize(nTags int) int { return UserIDBytes + nTags*TagBytes }
+
+// ResultListWireSize returns the size in bytes of a partial result list with
+// n entries plus the list of m users whose profiles were used to build it
+// (both are sent to the querier in the same message, §2.2.2).
+func ResultListWireSize(nEntries, mUsers int) int {
+	return nEntries*(ItemBytes+ScoreBytes) + mUsers*UserIDBytes
+}

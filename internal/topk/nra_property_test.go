@@ -1,0 +1,179 @@
+package topk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"p3q/internal/tagging"
+)
+
+// randomLists builds sorted partial result lists from fuzz input.
+func randomLists(seed int64, nLists, itemSpace, maxLen, maxScore int) [][]Entry {
+	rng := rand.New(rand.NewSource(seed))
+	lists := make([][]Entry, 0, nLists)
+	for i := 0; i < nLists; i++ {
+		acc := make(map[tagging.ItemID]int)
+		m := rng.Intn(maxLen + 1)
+		for j := 0; j < m; j++ {
+			acc[tagging.ItemID(rng.Intn(itemSpace))] += 1 + rng.Intn(maxScore)
+		}
+		es := make([]Entry, 0, len(acc))
+		for it, sc := range acc {
+			es = append(es, Entry{it, sc})
+		}
+		SortEntries(es)
+		lists = append(lists, es)
+	}
+	return lists
+}
+
+func TestNRADrainEqualsExactProperty(t *testing.T) {
+	// For any stream of lists delivered in any batching, Drain equals the
+	// exact aggregation with the canonical tie-break.
+	f := func(seed int64, kRaw, nListsRaw uint8) bool {
+		k := 1 + int(kRaw%15)
+		nLists := 1 + int(nListsRaw%10)
+		lists := randomLists(seed, nLists, 30, 25, 6)
+		rng := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		n := NewNRA(k)
+		i := 0
+		for i < len(lists) {
+			batch := 1 + rng.Intn(3)
+			if i+batch > len(lists) {
+				batch = len(lists) - i
+			}
+			n.Run(lists[i : i+batch])
+			i += batch
+		}
+		got := n.Drain()
+		want := TopOf(SumLists(lists), k)
+		if len(got) != len(want) {
+			return false
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNRAEarlyTopKDominatesProperty(t *testing.T) {
+	// After absorbing all lists (before Drain), every returned item's true
+	// total is at least the k-th true total.
+	f := func(seed int64, kRaw uint8) bool {
+		k := 1 + int(kRaw%8)
+		lists := randomLists(seed, 5, 20, 15, 5)
+		n := NewNRA(k)
+		got := n.Run(lists)
+		totals := SumLists(lists)
+		exact := TopOf(totals, k)
+		if len(exact) < k {
+			return true // fewer scored items than k: nothing to dominate
+		}
+		kth := exact[len(exact)-1].Score
+		for _, e := range got {
+			if totals[e.Item] < kth {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNRAScannedNeverExceedsAvailableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		lists := randomLists(seed, 6, 25, 20, 4)
+		n := NewNRA(5)
+		n.Run(lists)
+		if n.ScannedEntries() > n.TotalEntries() {
+			return false
+		}
+		n.Drain()
+		return n.ScannedEntries() == n.TotalEntries()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNRABatchingInvarianceProperty(t *testing.T) {
+	// The drained result must not depend on how the same lists were
+	// batched across Run calls.
+	f := func(seed int64, split uint8) bool {
+		lists := randomLists(seed, 6, 25, 20, 4)
+		oneShot := NewNRA(8)
+		oneShot.Run(lists)
+		a := oneShot.Drain()
+
+		cut := int(split) % (len(lists) + 1)
+		incremental := NewNRA(8)
+		incremental.Run(lists[:cut])
+		incremental.Run(lists[cut:])
+		b := incremental.Drain()
+
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecallBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		lists := randomLists(seed, 2, 20, 15, 4)
+		r := Recall(lists[0], lists[1])
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartialListCanonicalProperty(t *testing.T) {
+	// PartialList output is always sorted canonically and strictly positive.
+	f := func(seed int64, nProf uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var snaps []tagging.Snapshot
+		for i := 0; i <= int(nProf%5); i++ {
+			p := tagging.NewProfile(tagging.UserID(i))
+			for j := 0; j < 20; j++ {
+				p.Add(tagging.ItemID(rng.Intn(15)), tagging.TagID(rng.Intn(6)))
+			}
+			snaps = append(snaps, p.Snapshot())
+		}
+		q := NewTagSet([]tagging.TagID{0, 1, 2})
+		l := PartialList(snaps, q)
+		for i, e := range l {
+			if e.Score <= 0 {
+				return false
+			}
+			if i > 0 && Less(e, l[i-1]) == false && l[i-1] != e {
+				// l[i-1] must come before e in canonical order.
+				if Less(l[i-1], e) == false {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

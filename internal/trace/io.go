@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"p3q/internal/tagging"
+)
+
+// Binary trace format, so that a real crawl (e.g. an actual delicious dump)
+// can be converted once and loaded by every tool in this repository:
+//
+//	magic   uint32 = 0x50335130 ("P3Q0")
+//	users   uint32
+//	items   uint32 (size of the item ID space)
+//	tags    uint32 (size of the tag ID space)
+//	per user:
+//	  owner   uint32
+//	  actions uint32
+//	  actions x { item uint32, tag uint32 }
+//
+// All integers are little-endian.
+const traceMagic = 0x50335130
+
+var errBadMagic = errors.New("trace: bad magic (not a P3Q trace file)")
+
+// Save writes the dataset in the binary trace format.
+func Save(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	if err := put32(traceMagic); err != nil {
+		return err
+	}
+	if err := put32(uint32(d.Users())); err != nil {
+		return err
+	}
+	if err := put32(uint32(d.NumItems)); err != nil {
+		return err
+	}
+	if err := put32(uint32(d.NumTags)); err != nil {
+		return err
+	}
+	for _, p := range d.Profiles {
+		if err := put32(uint32(p.Owner())); err != nil {
+			return err
+		}
+		if err := put32(uint32(p.Len())); err != nil {
+			return err
+		}
+		for _, a := range p.Actions() {
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(a.Item))
+			binary.LittleEndian.PutUint32(scratch[4:], uint32(a.Tag))
+			if _, err := bw.Write(scratch[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a dataset written by Save. Loaded datasets have no generator
+// metadata: change-sets drawn from them use the global item space.
+func Load(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	magic, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	if magic != traceMagic {
+		return nil, errBadMagic
+	}
+	users, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	items, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	tags, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	const maxUsers = 1 << 24
+	if users > maxUsers {
+		return nil, fmt.Errorf("trace: user count %d exceeds sanity limit", users)
+	}
+	d := &Dataset{
+		Profiles: make([]*tagging.Profile, users),
+		NumItems: int(items),
+		NumTags:  int(tags),
+	}
+	for i := uint32(0); i < users; i++ {
+		owner, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading user %d header: %w", i, err)
+		}
+		if owner != i {
+			return nil, fmt.Errorf("trace: user %d has owner field %d (profiles must be dense)", i, owner)
+		}
+		n, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		p := tagging.NewProfile(tagging.UserID(owner))
+		for j := uint32(0); j < n; j++ {
+			if _, err := io.ReadFull(br, scratch[:]); err != nil {
+				return nil, fmt.Errorf("trace: reading action %d of user %d: %w", j, i, err)
+			}
+			it := tagging.ItemID(binary.LittleEndian.Uint32(scratch[:4]))
+			tg := tagging.TagID(binary.LittleEndian.Uint32(scratch[4:]))
+			p.Add(it, tg)
+		}
+		d.Profiles[i] = p
+	}
+	return d, nil
+}

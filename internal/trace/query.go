@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"p3q/internal/randx"
+	"p3q/internal/tagging"
+)
+
+// Query is a personalized top-k query: a querier and a set of tags. Queries
+// are generated as in §3.1.1 of the paper: one item is picked at random from
+// the querier's profile and the query consists of the tags the querier used
+// on that item, "following the assumption that the tags used by a user to
+// tag an item are precisely those she would use to search for that
+// particular item".
+type Query struct {
+	Querier tagging.UserID
+	Tags    []tagging.TagID
+	// Item is the profile item the query was generated from. The protocol
+	// never looks at it; experiments may use it for diagnostics.
+	Item tagging.ItemID
+}
+
+// GenerateQueries produces one query per user, per the paper's protocol.
+// Users with empty profiles (impossible with the generator, possible with
+// loaded traces) are skipped.
+func GenerateQueries(d *Dataset, seed uint64) []Query {
+	root := randx.NewSource(seed)
+	out := make([]Query, 0, d.Users())
+	for u := 0; u < d.Users(); u++ {
+		p := d.Profiles[u]
+		if p.Len() == 0 {
+			continue
+		}
+		rng := root.Split(uint64(u))
+		items := p.Items()
+		it := items[rng.Intn(len(items))]
+		out = append(out, Query{
+			Querier: tagging.UserID(u),
+			Tags:    p.TagsFor(it),
+			Item:    it,
+		})
+	}
+	return out
+}
+
+// QueryFor builds the query of a single user with the same procedure.
+// ok is false if the user's profile is empty.
+func QueryFor(d *Dataset, u tagging.UserID, seed uint64) (q Query, ok bool) {
+	p := d.Profiles[u]
+	if p.Len() == 0 {
+		return Query{}, false
+	}
+	rng := randx.NewSource(seed).Split(uint64(u))
+	items := p.Items()
+	it := items[rng.Intn(len(items))]
+	return Query{Querier: u, Tags: p.TagsFor(it), Item: it}, true
+}

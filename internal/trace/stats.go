@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"p3q/internal/tagging"
+)
+
+// Stats summarizes a dataset with the quantities the paper reports for its
+// delicious crawl (§3.1.1, §3.3.1), so a generated trace can be checked
+// against the crawl's marginals.
+type Stats struct {
+	Users   int
+	Items   int // distinct items actually used
+	Tags    int // distinct tags actually used
+	Actions int
+
+	MeanItemsPerUser   float64 // paper: 249
+	MeanActionsPerUser float64 // paper: ~954
+	MaxProfileLen      int
+	P99ProfileItems    int // paper: >99% of users tag < 2000 items
+
+	MeanActionsPerItemUser float64 // tags per (user, item); paper: ~3.8
+
+	// ItemsUsedBy10Plus is the number of distinct items tagged by at least
+	// 10 distinct users — the paper's dataset-reduction criterion.
+	ItemsUsedBy10Plus int
+}
+
+// ComputeStats scans the dataset once and returns its statistics.
+func ComputeStats(d *Dataset) Stats {
+	var s Stats
+	s.Users = d.Users()
+	itemUsers := make(map[tagging.ItemID]int)
+	tagsUsed := make(map[tagging.TagID]struct{})
+	itemsPerUser := make([]int, 0, s.Users)
+	pairCount := 0 // number of (user, item) pairs
+
+	for _, p := range d.Profiles {
+		s.Actions += p.Len()
+		if p.Len() > s.MaxProfileLen {
+			s.MaxProfileLen = p.Len()
+		}
+		items := p.Items()
+		itemsPerUser = append(itemsPerUser, len(items))
+		pairCount += len(items)
+		for _, it := range items {
+			itemUsers[it]++
+		}
+		for _, a := range p.Actions() {
+			tagsUsed[a.Tag] = struct{}{}
+		}
+	}
+	s.Items = len(itemUsers)
+	s.Tags = len(tagsUsed)
+	for _, n := range itemUsers {
+		if n >= 10 {
+			s.ItemsUsedBy10Plus++
+		}
+	}
+	if s.Users > 0 {
+		s.MeanActionsPerUser = float64(s.Actions) / float64(s.Users)
+		totalItems := 0
+		for _, n := range itemsPerUser {
+			totalItems += n
+		}
+		s.MeanItemsPerUser = float64(totalItems) / float64(s.Users)
+	}
+	if pairCount > 0 {
+		s.MeanActionsPerItemUser = float64(s.Actions) / float64(pairCount)
+	}
+	if len(itemsPerUser) > 0 {
+		sort.Ints(itemsPerUser)
+		idx := int(float64(len(itemsPerUser)) * 0.99)
+		if idx >= len(itemsPerUser) {
+			idx = len(itemsPerUser) - 1
+		}
+		s.P99ProfileItems = itemsPerUser[idx]
+	}
+	return s
+}
+
+// String renders the statistics as a short report.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"users=%d items=%d tags=%d actions=%d\n"+
+			"mean items/user=%.1f mean actions/user=%.1f max profile=%d p99 items=%d\n"+
+			"mean tags per (user,item)=%.2f items tagged by >=10 users=%d",
+		s.Users, s.Items, s.Tags, s.Actions,
+		s.MeanItemsPerUser, s.MeanActionsPerUser, s.MaxProfileLen, s.P99ProfileItems,
+		s.MeanActionsPerItemUser, s.ItemsUsedBy10Plus)
+}

@@ -1,0 +1,112 @@
+package p3q_test
+
+import (
+	"bytes"
+	"testing"
+
+	"p3q"
+)
+
+// TestPublicAPIQuickstart exercises the full documented flow through the
+// root package only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	params := p3q.DefaultTraceParams(120)
+	params.MeanItems = 20
+	params.Seed = 3
+	ds := p3q.GenerateTrace(params)
+
+	cfg := p3q.DefaultConfig()
+	cfg.S, cfg.C = 20, 5
+	nets := p3q.IdealNetworks(ds, cfg.S)
+
+	engine := p3q.NewEngine(ds, cfg)
+	engine.SeedIdealNetworks(nets)
+
+	q, ok := p3q.QueryFor(ds, 7, 1)
+	if !ok {
+		t.Fatal("no query for user 7")
+	}
+	run := engine.IssueQuery(q)
+	if run == nil {
+		t.Fatal("IssueQuery returned nil")
+	}
+	for i := 0; i < 50 && !run.Done(); i++ {
+		engine.EagerCycle()
+	}
+	if !run.Done() {
+		t.Fatal("query did not complete")
+	}
+
+	ref := p3q.NewCentralizedWithNets(ds, nets, cfg.K)
+	if r := p3q.Recall(run.Results(), ref.TopK(q)); r != 1 {
+		t.Fatalf("recall at completion = %f, want 1", r)
+	}
+}
+
+func TestPublicAPIOrganicConvergence(t *testing.T) {
+	params := p3q.DefaultTraceParams(80)
+	params.MeanItems = 15
+	params.Seed = 5
+	ds := p3q.GenerateTrace(params)
+
+	cfg := p3q.DefaultConfig()
+	cfg.S, cfg.C = 10, 5
+	engine := p3q.NewEngine(ds, cfg)
+	engine.Bootstrap()
+	engine.RunLazy(20)
+
+	filled := 0
+	for u := 0; u < engine.Users(); u++ {
+		if engine.Node(p3q.UserID(u)).PersonalNetwork().Len() > 0 {
+			filled++
+		}
+	}
+	if filled < engine.Users()*8/10 {
+		t.Fatalf("only %d/%d nodes discovered neighbours organically", filled, engine.Users())
+	}
+}
+
+func TestPublicAPITraceRoundTrip(t *testing.T) {
+	ds := p3q.GenerateTrace(p3q.DefaultTraceParams(50))
+	var buf bytes.Buffer
+	if err := p3q.SaveTrace(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p3q.LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Users() != ds.Users() {
+		t.Fatalf("round trip lost users: %d vs %d", got.Users(), ds.Users())
+	}
+	stats := p3q.TraceStatistics(got)
+	if stats.Users != 50 || stats.Actions == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestPublicAPIChanges(t *testing.T) {
+	ds := p3q.GenerateTrace(p3q.DefaultTraceParams(60))
+	changes := p3q.GenerateChanges(ds, p3q.ChangeParams{
+		FracUsers: 0.2, MeanNew: 5, SigmaNew: 0.5, MaxNew: 20, Seed: 9,
+	})
+	if len(changes) == 0 {
+		t.Fatal("no changes generated")
+	}
+	if added := p3q.ApplyChanges(ds, changes); added == 0 {
+		t.Fatal("changes added nothing")
+	}
+}
+
+func TestPublicAPIProfileAndVocabulary(t *testing.T) {
+	v := p3q.NewVocabulary()
+	matrix := v.Tag("matrix")
+	item := v.Item("https://en.wikipedia.org/wiki/Matrix_(mathematics)")
+	p := p3q.NewProfile(0)
+	if !p.Add(item, matrix) {
+		t.Fatal("Add failed")
+	}
+	if v.TagName(matrix) != "matrix" {
+		t.Fatal("vocabulary lost the tag name")
+	}
+}
