@@ -11,6 +11,9 @@
 package p3q_test
 
 import (
+	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"p3q"
@@ -230,5 +233,89 @@ func BenchmarkLazyCycle(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.LazyCycle()
+	}
+}
+
+// --- Parallel lazy-mode benches (plan/commit engine) ---
+
+// lazyBenchData memoizes the large-population trace so every worker-count
+// sub-bench measures the engine, not the generator. Sharing the dataset is
+// safe: lazy cycles never mutate profiles.
+var lazyBenchData struct {
+	sync.Once
+	ds *p3q.Dataset
+}
+
+func lazyBenchDataset(b *testing.B) *p3q.Dataset {
+	b.Helper()
+	lazyBenchData.Do(func() {
+		params := p3q.DefaultTraceParams(5000)
+		params.MeanItems = 20
+		params.Seed = 7
+		lazyBenchData.ds = p3q.GenerateTrace(params)
+	})
+	return lazyBenchData.ds
+}
+
+// lazyWorkerCounts returns the worker counts worth comparing on this
+// machine: sequential, all cores, and a mid point, deduplicated.
+func lazyWorkerCounts() []int {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		if n > 3 {
+			counts = append(counts, n/2)
+		}
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkLazyConvergence5k times one lazy-mode cycle over a 5000-user
+// population converging from Bootstrap, per worker count. The engine is
+// byte-for-byte deterministic in Workers, so every sub-bench performs the
+// exact same protocol work and the per-op times compare wall clock
+// directly: the speedup at workers=GOMAXPROCS over workers=1 is the
+// parallel planning phase's multicore yield.
+func BenchmarkLazyConvergence5k(b *testing.B) {
+	for _, workers := range lazyWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ds := lazyBenchDataset(b)
+			cfg := p3q.DefaultConfig()
+			cfg.S, cfg.C = 50, 10
+			cfg.BloomBits, cfg.BloomHashes = 2048, 6
+			cfg.Workers = workers
+			cfg.Seed = 7
+			e := p3q.NewEngine(ds, cfg)
+			e.Bootstrap()
+			e.RunLazy(2) // past the empty-network cold start
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.LazyCycle()
+			}
+		})
+	}
+}
+
+// BenchmarkLazyChurn5k times lazy cycles over the same population under
+// 30% departures, the regime where probe retries and view healing shift
+// work between the planning and commit phases.
+func BenchmarkLazyChurn5k(b *testing.B) {
+	for _, workers := range lazyWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ds := lazyBenchDataset(b)
+			cfg := p3q.DefaultConfig()
+			cfg.S, cfg.C = 50, 10
+			cfg.BloomBits, cfg.BloomHashes = 2048, 6
+			cfg.Workers = workers
+			cfg.Seed = 7
+			e := p3q.NewEngine(ds, cfg)
+			e.Bootstrap()
+			e.RunLazy(2)
+			e.Kill(0.3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.LazyCycle()
+			}
+		})
 	}
 }

@@ -1,0 +1,3 @@
+module p3q
+
+go 1.22

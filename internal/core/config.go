@@ -24,6 +24,8 @@
 package core
 
 import (
+	"runtime"
+
 	"p3q/internal/bloom"
 	"p3q/internal/tagging"
 )
@@ -65,6 +67,15 @@ type Config struct {
 	// remaining list instead. Ablation knob; the paper's protocol keeps
 	// the bias on.
 	DisableEagerBias bool
+	// Workers is the number of goroutines the engine uses for the parallel
+	// planning phase of lazy cycles (partner selection, Bloom-digest
+	// filtering, common-item scoring, random-view evaluation). 0 (the
+	// default) means runtime.GOMAXPROCS(0); 1 forces fully sequential
+	// execution. The commit phase is sequential in the engine's canonical
+	// permutation order regardless, so every value of Workers produces
+	// byte-for-byte identical personal networks, query results and traffic
+	// counters.
+	Workers int
 	// StaticNetworks freezes personal-network membership: gossip still
 	// refreshes the digests, scores and stored replicas of existing
 	// neighbours, but never admits new ones. This is the §4 explicit
@@ -130,6 +141,9 @@ func (c Config) sanitize(users int) Config {
 	}
 	if c.MaxProbes < 1 {
 		c.MaxProbes = 1
+	}
+	if c.Workers < 1 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	if c.CAssign != nil && len(c.CAssign) != users {
 		panic("core: CAssign length does not match the number of users")

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"p3q/internal/gossip"
 	"p3q/internal/randx"
 	"p3q/internal/sim"
@@ -14,8 +17,13 @@ import (
 // traffic accounting) and the query registry.
 //
 // Engines are deterministic: identical dataset, configuration and seed
-// reproduce identical cycles, byte counts and query results. The engine is
-// not safe for concurrent use.
+// reproduce identical cycles, byte counts and query results — independently
+// of Config.Workers. Lazy cycles run in two plan/commit rounds: a worker
+// pool of Config.Workers goroutines plans every online node's exchanges
+// concurrently against the cycle-start state (see lazy.go), and a single
+// goroutine commits the resulting intents in the canonical permutation
+// order. The worker pool is internal; the engine's methods themselves must
+// still be called from one goroutine at a time.
 type Engine struct {
 	cfg   Config
 	ds    *trace.Dataset
@@ -25,6 +33,14 @@ type Engine struct {
 
 	lazyCycles  int
 	eagerCycles int
+
+	// cycleSeq numbers every lazy cycle ever started; it labels the
+	// per-cycle split streams of the planning phase so no two cycles reuse
+	// a stream.
+	cycleSeq uint64
+	// killSeq numbers every Kill call; it labels the kill stream so two
+	// Kill calls with no intervening cycle still draw independent sets.
+	killSeq uint64
 
 	queries     map[uint64]*QueryRun
 	queryOrder  []uint64
@@ -43,11 +59,13 @@ func New(ds *trace.Dataset, cfg Config) *Engine {
 	cfg = cfg.sanitize(ds.Users())
 	root := randx.NewSource(cfg.Seed)
 	e := &Engine{
-		cfg:     cfg,
-		ds:      ds,
-		net:     sim.NewNetwork(ds.Users()),
-		nodes:   make([]*Node, ds.Users()),
-		rng:     root.Split(0xE16),
+		cfg:   cfg,
+		ds:    ds,
+		net:   sim.NewNetwork(ds.Users()),
+		nodes: make([]*Node, ds.Users()),
+		// The engine label lives above 32 bits so it can never collide
+		// with the per-node labels (u+1) in very large populations.
+		rng:     root.Split(0xE16 << 32),
 		queries: make(map[uint64]*QueryRun),
 	}
 	for u := 0; u < ds.Users(); u++ {
@@ -139,24 +157,98 @@ func (e *Engine) Bootstrap() {
 // the scoring of random-view candidates (§2.2.1: "at each cycle, a user
 // gossips with a neighbour from her random view and a neighbour from her
 // personal network respectively").
+//
+// Each layer runs as a plan/commit round: Config.Workers goroutines plan
+// every online node's exchange against the cycle-start state, then the
+// intents are committed sequentially in the cycle's canonical permutation
+// order. The output is byte-for-byte identical for every worker count.
 func (e *Engine) LazyCycle() {
 	order := e.rng.Perm(len(e.nodes))
-	for _, i := range order {
-		n := e.nodes[i]
-		if !e.net.Online(n.id) {
-			continue
+	seq := e.cycleSeq
+	e.cycleSeq++
+
+	// Normalize per-node caches (own digests, evaluated memos, personal
+	// network rankings) so the planners below only hit read-only paths.
+	// Each unit of work touches one node's state exclusively, so this
+	// pre-pass parallelizes too.
+	e.forEachNode(func(n *Node) {
+		n.digest()
+		n.checkEvalCache()
+		n.pnet.Prepare()
+	})
+
+	// Round 1: bottom-layer peer sampling.
+	vplans := make([]*viewPlan, len(e.nodes))
+	e.forEachNode(func(n *Node) {
+		if e.net.Online(n.id) {
+			vplans[n.id] = e.planView(n, seq)
 		}
-		e.viewExchange(n)
+	})
+	for _, i := range order {
+		if e.net.Online(e.nodes[i].id) {
+			e.commitView(e.nodes[i], vplans[i])
+		}
 	}
-	for _, i := range order {
-		n := e.nodes[i]
-		if !e.net.Online(n.id) {
-			continue
+
+	// Round 2: top-layer personal network gossip plus random-view
+	// evaluation, planned against the round-1-committed views.
+	tplans := make([]*topPlan, len(e.nodes))
+	e.forEachNode(func(n *Node) {
+		if e.net.Online(n.id) {
+			tplans[n.id] = e.planTop(n, seq)
 		}
-		e.topLazyGossip(n)
-		n.evaluateRandomView()
+	})
+	for _, i := range order {
+		if e.net.Online(e.nodes[i].id) {
+			e.commitTop(e.nodes[i], tplans[i])
+		}
 	}
 	e.lazyCycles++
+}
+
+// planChunk is the number of nodes a worker claims per scheduling step:
+// large enough to amortize the atomic increment, small enough to balance
+// skewed per-node costs.
+const planChunk = 64
+
+// forEachNode runs fn for every node. With Workers > 1 the nodes are
+// processed by a worker pool in chunks; fn must therefore be safe to run
+// concurrently for distinct nodes (the planning contract: read shared
+// state, write only the node's own slot). The set of fn invocations is
+// identical for every worker count — only the schedule differs.
+func (e *Engine) forEachNode(fn func(n *Node)) {
+	workers := e.cfg.Workers
+	if max := (len(e.nodes) + planChunk - 1) / planChunk; workers > max {
+		workers = max
+	}
+	if workers <= 1 {
+		for _, n := range e.nodes {
+			fn(n)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(planChunk)) - planChunk
+				if lo >= len(e.nodes) {
+					return
+				}
+				hi := lo + planChunk
+				if hi > len(e.nodes) {
+					hi = len(e.nodes)
+				}
+				for _, n := range e.nodes[lo:hi] {
+					fn(n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // RunLazy runs n lazy cycles.
@@ -177,9 +269,13 @@ func (e *Engine) RunEager(maxCycles int) int {
 }
 
 // Kill takes the given fraction of online nodes offline simultaneously
-// (§3.4.2) and returns their IDs.
+// (§3.4.2) and returns their IDs. The kill stream is labelled with a
+// per-engine counter: Split does not advance the parent source, so a
+// constant label would hand two back-to-back Kill calls (no intervening
+// cycle) identical streams and correlated kill sets.
 func (e *Engine) Kill(frac float64) []tagging.UserID {
-	return e.net.Kill(frac, e.rng.Split(0xDEAD))
+	e.killSeq++
+	return e.net.Kill(frac, e.rng.Split(0xDEAD<<32|e.killSeq))
 }
 
 // Revive brings departed nodes back online. A revived node keeps her

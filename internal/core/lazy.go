@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"p3q/internal/gossip"
+	"p3q/internal/randx"
 	"p3q/internal/sim"
 	"p3q/internal/tagging"
 )
@@ -11,27 +12,96 @@ import (
 // This file implements the lazy mode of §2.2.1: the bottom-layer peer
 // sampling exchange and the top-layer 3-step profile exchange of
 // Algorithm 1 that discovers and maintains personal networks.
+//
+// Both layers run in a plan/commit design so a lazy cycle can use every
+// core while staying byte-for-byte deterministic:
+//
+//   - plan: a worker pool runs the read-heavy phase for every online node
+//     concurrently — partner selection, Bloom-digest filtering, common-item
+//     scoring, random-view evaluation — producing a per-node intent plus a
+//     sim.Ledger of the messages the node would send. Planners read only
+//     the cycle-start state and draw randomness from per-(cycle, node)
+//     split streams, so each plan is a pure function of the cycle-start
+//     state regardless of goroutine scheduling.
+//   - commit: a single goroutine applies the intents in the engine's
+//     canonical permutation order — view merges, personal-network upserts,
+//     profile storage (step 3, which depends on the committed network) and
+//     traffic accounting.
+//
+// The eager mode reuses the same plan/commit primitives inline (plan one
+// pair, commit immediately), which preserves its strictly sequential
+// semantics.
 
-// viewExchange runs one bottom-layer gossip for node a: pick a uniform
-// partner from the random view, swap r digests, re-sample both views.
-func (e *Engine) viewExchange(a *Node) {
-	d, ok := a.view.SelectPartner(a.rng)
+// Randomness purposes of the lazy planning phase. Each planner derives its
+// streams by splitting node sources with a label that encodes the cycle
+// sequence number, the purpose, and (for partner-side streams) the
+// initiator, so no two derived streams in the history of a run coincide
+// and no planner ever advances a shared source.
+const (
+	purposeView      uint64 = iota // initiator's bottom-layer stream
+	purposeViewReply               // partner's bottom-layer stream
+	purposeTop                     // initiator's top-layer stream
+	purposeTopReply                // partner's top-layer stream
+)
+
+// planLabel packs (cycle sequence, purpose, peer) into a unique split
+// label: peer occupies the low 32 bits, the purpose the next 2, and the
+// cycle sequence the rest. Initiator-side streams use peer 0.
+func planLabel(seq, purpose uint64, peer tagging.UserID) uint64 {
+	return seq<<34 | purpose<<32 | uint64(peer)
+}
+
+// viewPlan is one node's planned bottom-layer exchange: the selected
+// partner, both send buffers (computed against the cycle-start views), the
+// split streams the commit-time merges will draw from, and the message
+// ledger.
+type viewPlan struct {
+	ledger     *sim.Ledger
+	partner    tagging.UserID
+	dead       bool // partner departed: drop it from the view
+	bufA, bufB []gossip.Descriptor
+	rngA, rngB *randx.Source
+}
+
+// planView plans one bottom-layer gossip for node a: pick a uniform
+// partner from the random view, swap r digests, re-sample both views. It
+// returns nil when the view is empty.
+func (e *Engine) planView(a *Node, seq uint64) *viewPlan {
+	rng := a.rng.Split(planLabel(seq, purposeView, 0))
+	d, ok := a.view.SelectPartner(rng)
 	if !ok {
-		return
+		return nil
 	}
+	p := &viewPlan{ledger: e.net.NewLedger(), partner: d.Node}
 	if !e.net.Online(d.Node) {
-		e.net.Send(a.id, d.Node, sim.MsgProbe, 0) // records the failed attempt
+		p.ledger.Send(a.id, d.Node, sim.MsgProbe, 0) // records the failed attempt
 		// Departed contact: drop it so the view heals (§3.4.2).
-		a.view.Remove(d.Node)
-		return
+		p.dead = true
+		return p
 	}
 	b := e.nodes[d.Node]
-	bufA := a.view.SendBuffer(a.descriptor(), a.rng)
-	bufB := b.view.SendBuffer(b.descriptor(), b.rng)
-	e.net.Send(a.id, d.Node, sim.MsgRandomView, descriptorsWireSize(bufA))
-	e.net.Send(d.Node, a.id, sim.MsgRandomView, descriptorsWireSize(bufB))
-	a.view.Merge(bufB, a.rng)
-	b.view.Merge(bufA, b.rng)
+	brng := b.rng.Split(planLabel(seq, purposeViewReply, a.id))
+	p.bufA = a.view.SendBuffer(a.descriptor(), rng)
+	p.bufB = b.view.SendBuffer(b.descriptor(), brng)
+	p.ledger.Send(a.id, d.Node, sim.MsgRandomView, descriptorsWireSize(p.bufA))
+	p.ledger.Send(d.Node, a.id, sim.MsgRandomView, descriptorsWireSize(p.bufB))
+	p.rngA, p.rngB = rng, brng
+	return p
+}
+
+// commitView applies one planned bottom-layer exchange.
+func (e *Engine) commitView(a *Node, p *viewPlan) {
+	if p == nil {
+		return
+	}
+	e.net.Commit(p.ledger)
+	if p.dead {
+		a.view.Remove(p.partner)
+		return
+	}
+	b := e.nodes[p.partner]
+	a.view.Merge(p.bufB, p.rngA)
+	b.view.Merge(p.bufA, p.rngB)
 }
 
 // requestBytes is the size charged for a bare "send me X" request message.
@@ -55,85 +125,222 @@ func descriptorsWireSize(ds []gossip.Descriptor) int {
 	return b
 }
 
-// topLazyGossip runs one top-layer gossip for node a: select the personal
+// rvContact is one planned random-view evaluation: either a pure
+// evaluated-cache update (digest shares no item) or a direct contact with
+// the planned integration of the owner's fresh offer.
+type rvContact struct {
+	owner    tagging.UserID
+	evalOnly bool
+	version  int
+	intent   *integration
+}
+
+// topPlan is one node's planned top-layer gossip plus random-view
+// evaluation: the probes spent finding an online partner, the symmetric
+// 3-step exchange planned for both sides, and the random-view contacts.
+type topPlan struct {
+	ledger *sim.Ledger
+	naive  uint64           // 3-step ablation ledger contribution
+	resets []tagging.UserID // departed partners probed: reset their timestamps
+
+	partner tagging.UserID
+	ok      bool
+	intPeer *integration // partner's integration of the initiator's offers
+	intSelf *integration // initiator's integration of the partner's offers
+
+	rv []rvContact
+}
+
+// planTop plans one top-layer gossip for node a — select the personal
 // network neighbour with the oldest timestamp (retrying past departed ones
-// up to MaxProbes) and run the symmetric 3-step profile exchange with her.
-func (e *Engine) topLazyGossip(a *Node) {
+// up to MaxProbes) and the symmetric 3-step profile exchange with her — and
+// the scoring of a's random-view candidates (§2.2.1).
+func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
+	p := &topPlan{ledger: e.net.NewLedger()}
+	rng := a.rng.Split(planLabel(seq, purposeTop, 0))
+
 	partners := a.pnet.PartnersByAge()
 	// Equal timestamps (common right after bootstrap) are tried in random
 	// order so the first cycles do not all hit the lowest IDs.
-	a.rng.Shuffle(len(partners), func(i, j int) { partners[i], partners[j] = partners[j], partners[i] })
+	rng.Shuffle(len(partners), func(i, j int) { partners[i], partners[j] = partners[j], partners[i] })
 	sortEntriesByAge(partners)
+	var b *Node
 	probes := 0
-	for _, p := range partners {
+	for _, pe := range partners {
 		if probes >= e.cfg.MaxProbes {
-			return
+			break
 		}
-		if !e.net.Online(p.ID) {
-			e.net.Send(a.id, p.ID, sim.MsgProbe, 0)
+		if !e.net.Online(pe.ID) {
+			p.ledger.Send(a.id, pe.ID, sim.MsgProbe, 0)
 			probes++
 			// Keep the entry (her profile stays meaningful, §3.4.2) but
 			// reset the timestamp so other neighbours are tried first in
 			// the following cycles.
-			a.pnet.ResetTimestamp(p.ID)
+			p.resets = append(p.resets, pe.ID)
 			continue
 		}
-		b := e.nodes[p.ID]
-		e.topExchange(a, b)
-		a.pnet.Touch(p.ID)
-		b.pnet.ResetTimestamp(a.id)
+		b = e.nodes[pe.ID]
+		break
+	}
+
+	// seen overlays the evaluated cache with the versions this plan already
+	// scored, so the random-view pass below does not re-contact an owner
+	// the top exchange just integrated.
+	seen := make(map[tagging.UserID]int)
+	if b != nil {
+		p.partner, p.ok = b.id, true
+		offersA := a.advertise(rng)
+		offersB := b.advertise(b.rng.Split(planLabel(seq, purposeTopReply, a.id)))
+		p.ledger.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(offersA))
+		p.ledger.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(offersB))
+		p.naive = naiveOffersBytes(offersA) + naiveOffersBytes(offersB)
+		p.intPeer = planIntegrate(b, offersA, a.id, nil)
+		p.intSelf = planIntegrate(a, offersB, b.id, seen)
+	}
+
+	// Random-view evaluation: score the members whose digests indicate at
+	// least one shared item, contacting them directly for their fresh
+	// profiles (§2.2.1: "The profile of vj is obtained by directly
+	// contacting vj if Digest(vj) contains at least one item tagged by ui").
+	for _, d := range a.view.Entries() {
+		if d.Node == a.id {
+			continue
+		}
+		v, known := a.evaluated[d.Node]
+		if sv, ok := seen[d.Node]; ok && (!known || sv > v) {
+			v, known = sv, true
+		}
+		if known && v >= d.Digest.Version {
+			continue
+		}
+		entry := a.pnet.Entry(d.Node)
+		if entry != nil && entry.Digest.Version >= d.Digest.Version {
+			continue
+		}
+		if entry == nil && e.cfg.StaticNetworks {
+			continue // membership frozen: no point contacting non-members
+		}
+		if !d.Digest.SharesItemWith(a.profile) {
+			seen[d.Node] = d.Digest.Version
+			p.rv = append(p.rv, rvContact{owner: d.Node, evalOnly: true, version: d.Digest.Version})
+			continue
+		}
+		if !e.net.Online(d.Node) {
+			p.ledger.Send(a.id, d.Node, sim.MsgProbe, 0)
+			continue
+		}
+		// Direct contact: the owner serves a fresh offer of her own
+		// profile. The initiating request is charged symmetrically to
+		// fetchFromOwner; the response carries the fresh digest (§3.3).
+		owner := e.nodes[d.Node]
+		fresh := offer{digest: owner.digest(), snap: owner.profile.Snapshot()}
+		p.ledger.Send(a.id, d.Node, sim.MsgTopDigest, requestBytes)
+		p.ledger.Send(d.Node, a.id, sim.MsgTopDigest, fresh.digest.SizeBytes())
+		p.rv = append(p.rv, rvContact{owner: d.Node, intent: planIntegrate(a, []offer{fresh}, d.Node, seen)})
+	}
+	return p
+}
+
+// commitTop applies one planned top-layer gossip in the canonical order:
+// message ledger, probe timestamp resets, both sides' integrations, the
+// gossip timestamps, and the random-view contacts.
+func (e *Engine) commitTop(a *Node, p *topPlan) {
+	if p == nil {
 		return
+	}
+	e.net.Commit(p.ledger)
+	e.naiveExchangeBytes += p.naive
+	for _, id := range p.resets {
+		a.pnet.ResetTimestamp(id)
+	}
+	if p.ok {
+		b := e.nodes[p.partner]
+		b.commitIntegration(p.intPeer)
+		a.commitIntegration(p.intSelf)
+		a.pnet.Touch(p.partner)
+		b.pnet.ResetTimestamp(a.id)
+	}
+	for _, c := range p.rv {
+		if c.evalOnly {
+			a.checkEvalCache()
+			a.evaluated[c.owner] = c.version
+			continue
+		}
+		a.commitIntegration(c.intent)
 	}
 }
 
 // topExchange performs the symmetric top-layer exchange between two online
 // nodes: both sides advertise digests (step 1) and integrate what they
-// received (steps 2-3). Used verbatim by the lazy mode and piggybacked by
-// the eager mode (Algorithm 3, "maintain personal network as in lazy
-// mode").
+// received (steps 2-3). It is the sequential plan-and-commit-inline path
+// used by the eager mode (Algorithm 3, "maintain personal network as in
+// lazy mode"); the lazy mode plans the same exchange through planTop.
 func (e *Engine) topExchange(a, b *Node) {
-	offersA := a.advertise()
-	offersB := b.advertise()
+	offersA := a.advertise(a.rng)
+	offersB := b.advertise(b.rng)
 	e.net.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(offersA))
 	e.net.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(offersB))
-	// Side ledger for the 3-step ablation: what a naive protocol shipping
-	// every advertised profile in full would have cost.
-	for _, o := range offersA {
-		e.naiveExchangeBytes += uint64(tagging.ActionsWireSize(o.snap.Len()))
-	}
-	for _, o := range offersB {
-		e.naiveExchangeBytes += uint64(tagging.ActionsWireSize(o.snap.Len()))
-	}
+	e.naiveExchangeBytes += naiveOffersBytes(offersA) + naiveOffersBytes(offersB)
 	b.integrate(offersA, a.id)
 	a.integrate(offersB, b.id)
 }
 
-// integrate processes a batch of received profile advertisements per
-// Algorithm 1. provider is the node that sent them and that serves steps
-// 2-3 for these offers.
+// naiveOffersBytes is the 3-step-ablation side ledger for one offer batch:
+// what a naive protocol shipping every advertised profile in full would
+// have cost.
+func naiveOffersBytes(offers []offer) uint64 {
+	var b uint64
+	for _, o := range offers {
+		b += uint64(tagging.ActionsWireSize(o.snap.Len()))
+	}
+	return b
+}
+
+// integration is the planned outcome of one node integrating a batch of
+// received profile advertisements: the exact similarity scores and message
+// sizes of steps 1-2 of Algorithm 1. Step 3 (profile storage) depends on
+// the personal network as committed, so it is resolved at commit time.
+type integration struct {
+	provider  tagging.UserID
+	results   []intResult
+	reqBytes  int
+	respBytes int
+}
+
+// intResult is one scored offer inside an integration.
+type intResult struct {
+	o        offer
+	score    int
+	received int // actions transferred in step 2 (for the step-3 discount)
+	version  int // evaluated-cache update for the offer's owner
+}
+
+// planIntegrate computes the read-only part of Algorithm 1 for a batch of
+// offers received by n from provider:
 //
 //	step 1 (lines 1-15):  filter digests — drop unchanged/known versions and
 //	                      owners sharing no item with the own profile;
-//	step 2 (lines 16-26): fetch the tagging actions on common items, compute
-//	                      exact similarity scores, update the personal
-//	                      network (top-s, positive scores);
-//	step 3 (lines 27-31): fetch the full profiles of neighbours entering the
-//	                      top-c and store them.
-func (n *Node) integrate(offers []offer, provider tagging.UserID) {
-	n.checkEvalCache()
-	type scored struct {
-		o        offer
-		received int // actions transferred in step 2 (for the step-3 discount)
-	}
-	var candidates []scored
-
-	// Step 1: filter on digests only.
+//	step 2 (lines 16-26): fetch the tagging actions on common items and
+//	                      compute exact similarity scores.
+//
+// It reads only n's cycle-start state (plus the optional seen overlay of
+// versions already scored by the same plan) and mutates nothing, so any
+// number of planners may run it concurrently — including two planners
+// integrating into the same n. It returns nil when every offer is filtered
+// out (no step-2 messages are exchanged then).
+func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[tagging.UserID]int) *integration {
+	var results []intResult
+	reqBytes, respBytes := 0, 0
 	for _, o := range offers {
 		owner := o.digest.Owner
 		if owner == n.id {
 			continue
 		}
-		if v, ok := n.evaluated[owner]; ok && v >= o.digest.Version {
+		v, known := n.evaluated[owner]
+		if sv, ok := seen[owner]; ok && (!known || sv > v) {
+			v, known = sv, true
+		}
+		if known && v >= o.digest.Version {
 			continue // already scored at this or a newer version
 		}
 		if entry := n.pnet.Entry(owner); entry != nil {
@@ -145,24 +352,11 @@ func (n *Node) integrate(offers []offer, provider tagging.UserID) {
 		} else if !o.digest.SharesItemWith(n.profile) {
 			continue // no common item: does not qualify (Algorithm 1, line 10)
 		}
-		candidates = append(candidates, scored{o: o})
-	}
-	if len(candidates) == 0 {
-		return
-	}
-
-	// Step 2: request the actions on common items and compute exact scores.
-	reqBytes, respBytes := 0, 0
-	type result struct {
-		o        offer
-		score    int
-		received int
-	}
-	var results []result
-	for _, c := range candidates {
-		common := commonItems(n.profile, c.o.digest)
+		// Step 2: request the actions on common items and compute the
+		// exact score.
+		common := commonItems(n.profile, o.digest)
 		reqBytes += tagging.ItemsWireSize(len(common))
-		actions := c.o.snap.ActionsOnItems(common)
+		actions := o.snap.ActionsOnItems(common)
 		respBytes += tagging.ActionsWireSize(len(actions))
 		score := 0
 		for _, a := range actions {
@@ -170,19 +364,50 @@ func (n *Node) integrate(offers []offer, provider tagging.UserID) {
 				score++
 			}
 		}
-		n.evaluated[c.o.digest.Owner] = c.o.digest.Version
-		results = append(results, result{o: c.o, score: score, received: len(actions)})
+		if seen != nil {
+			seen[owner] = o.digest.Version
+		}
+		results = append(results, intResult{o: o, score: score, received: len(actions), version: o.digest.Version})
 	}
-	n.e.net.Send(n.id, provider, sim.MsgCommonItems, reqBytes)
-	n.e.net.Send(provider, n.id, sim.MsgCommonItems, respBytes)
+	if len(results) == 0 {
+		return nil
+	}
+	return &integration{provider: provider, results: results, reqBytes: reqBytes, respBytes: respBytes}
+}
+
+// commitIntegration applies a planned integration: the evaluated-cache
+// updates and step-2 traffic, the personal-network upserts (top-s, positive
+// scores), and step 3 (lines 27-31) — fetch and store the full profiles of
+// neighbours entering the top-c.
+func (n *Node) commitIntegration(it *integration) {
+	if it == nil {
+		return
+	}
+	n.checkEvalCache()
+	// Two integrations planned against the same cycle-start state may
+	// score the same owner at different versions (two initiators gossiped
+	// with n); the commits must never downgrade state a newer-version
+	// integration already applied, or the evaluated memo's "highest
+	// version scored" contract (and score monotonicity) breaks.
+	for _, r := range it.results {
+		if v, ok := n.evaluated[r.o.digest.Owner]; !ok || r.version > v {
+			n.evaluated[r.o.digest.Owner] = r.version
+		}
+	}
+	n.e.net.Send(n.id, it.provider, sim.MsgCommonItems, it.reqBytes)
+	n.e.net.Send(it.provider, n.id, sim.MsgCommonItems, it.respBytes)
 
 	// Update the personal network: keep the s highest positive scores.
-	inBatch := make(map[tagging.UserID]result, len(results))
-	for _, r := range results {
-		if r.score > 0 {
-			n.pnet.Upsert(r.o.digest.Owner, r.score, r.o.digest)
-			inBatch[r.o.digest.Owner] = r
+	inBatch := make(map[tagging.UserID]intResult, len(it.results))
+	for _, r := range it.results {
+		if r.score <= 0 {
+			continue
 		}
+		if entry := n.pnet.Entry(r.o.digest.Owner); entry != nil && entry.Digest.Version > r.version {
+			continue // a fresher same-cycle commit already landed
+		}
+		n.pnet.Upsert(r.o.digest.Owner, r.score, r.o.digest)
+		inBatch[r.o.digest.Owner] = r
 	}
 
 	// Step 3: store the profiles of neighbours entering the top-c.
@@ -204,11 +429,20 @@ func (n *Node) integrate(offers []offer, provider tagging.UserID) {
 		}
 	}
 	if profBytes > 0 {
-		n.e.net.Send(provider, n.id, sim.MsgProfile, profBytes)
+		n.e.net.Send(it.provider, n.id, sim.MsgProfile, profBytes)
 	}
 	for _, entry := range directFetch {
 		n.fetchFromOwner(entry)
 	}
+}
+
+// integrate processes a batch of received profile advertisements per
+// Algorithm 1, sequentially: plan against the current state and commit
+// immediately. This is the eager mode's path; the lazy mode separates the
+// two halves across its plan and commit phases.
+func (n *Node) integrate(offers []offer, provider tagging.UserID) {
+	n.checkEvalCache()
+	n.commitIntegration(planIntegrate(n, offers, provider, nil))
 }
 
 // fetchFromOwner retrieves a neighbour's full fresh profile directly from
@@ -225,42 +459,6 @@ func (n *Node) fetchFromOwner(entry *Entry) {
 	n.e.net.Send(entry.ID, n.id, sim.MsgProfile, tagging.ActionsWireSize(snap.Len()))
 	entry.Stored = snap
 	entry.Digest = owner.digest()
-}
-
-// evaluateRandomView scores the random-view members whose digests indicate
-// at least one shared item, contacting them directly for their fresh
-// profiles (§2.2.1: "The profile of vj is obtained by directly contacting
-// vj if Digest(vj) contains at least one item tagged by ui").
-func (n *Node) evaluateRandomView() {
-	n.checkEvalCache()
-	for _, d := range n.view.Entries() {
-		if d.Node == n.id {
-			continue
-		}
-		if v, ok := n.evaluated[d.Node]; ok && v >= d.Digest.Version {
-			continue
-		}
-		entry := n.pnet.Entry(d.Node)
-		if entry != nil && entry.Digest.Version >= d.Digest.Version {
-			continue
-		}
-		if entry == nil && n.e.cfg.StaticNetworks {
-			continue // membership frozen: no point contacting non-members
-		}
-		if !d.Digest.SharesItemWith(n.profile) {
-			n.evaluated[d.Node] = d.Digest.Version
-			continue
-		}
-		if !n.e.net.Online(d.Node) {
-			n.e.net.Send(n.id, d.Node, sim.MsgProbe, 0)
-			continue
-		}
-		// Direct contact: the owner serves a fresh offer of her own profile.
-		owner := n.e.nodes[d.Node]
-		fresh := offer{digest: owner.digest(), snap: owner.profile.Snapshot()}
-		n.e.net.Send(d.Node, n.id, sim.MsgTopDigest, fresh.digest.SizeBytes())
-		n.integrate([]offer{fresh}, d.Node)
-	}
 }
 
 // commonItems returns the items of p that the digest may contain — the

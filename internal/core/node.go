@@ -63,7 +63,7 @@ func (n *Node) descriptor() gossip.Descriptor {
 // checkEvalCache invalidates the evaluated memo when the own profile
 // changed since it was built.
 func (n *Node) checkEvalCache() {
-	if n.evalVersion != n.profile.Version() {
+	if n.evaluated == nil || n.evalVersion != n.profile.Version() {
 		n.evaluated = make(map[tagging.UserID]int)
 		n.evalVersion = n.profile.Version()
 	}
@@ -83,8 +83,10 @@ type offer struct {
 // own profile plus a random subset of at most MaxDigestsPerGossip stored
 // neighbour profiles ("if more than 50 profiles are stored ... 50 random
 // ones among them are exchanged ... Otherwise, all the profiles are
-// exchanged").
-func (n *Node) advertise() []offer {
+// exchanged"). The sampling randomness is passed in explicitly: the eager
+// mode draws from the node's live stream, the lazy planner from a
+// per-cycle split stream so that concurrent planners never contend on it.
+func (n *Node) advertise(rng *randx.Source) []offer {
 	stored := n.pnet.StoredEntries()
 	max := n.e.cfg.MaxDigestsPerGossip
 	out := make([]offer, 0, 1+min(len(stored), max))
@@ -95,7 +97,7 @@ func (n *Node) advertise() []offer {
 		}
 		return out
 	}
-	for _, i := range n.rng.Sample(len(stored), max) {
+	for _, i := range rng.Sample(len(stored), max) {
 		e := stored[i]
 		out = append(out, offer{digest: e.Digest, snap: e.Stored})
 	}

@@ -95,6 +95,12 @@ func (pn *PersonalNetwork) Upsert(id tagging.UserID, score int, digest *tagging.
 	return e
 }
 
+// Prepare rebuilds the cached ranking if it is stale. The engine calls it
+// for every node before a parallel planning phase so that the read paths
+// (Ranking, StoredEntries, PartnersByAge) are free of lazy rebuilds and
+// therefore safe to call from concurrent planners.
+func (pn *PersonalNetwork) Prepare() { pn.rebuild() }
+
 // Ranking returns the neighbours ordered by descending score (ties:
 // ascending ID). The slice aliases internal state; do not modify.
 func (pn *PersonalNetwork) Ranking() []*Entry {
@@ -202,9 +208,12 @@ func (pn *PersonalNetwork) PartnersByAge() []*Entry {
 }
 
 // Touch records a gossip with the given partner: its timestamp resets to 0
-// and every other neighbour's timestamp increments by 1 (§2.2.1).
+// and every other neighbour's timestamp increments by 1 (§2.2.1). It walks
+// the rebuilt ranking rather than the entries map: same set, but linear
+// memory instead of a map iteration on the engine's sequential commit path.
 func (pn *PersonalNetwork) Touch(partner tagging.UserID) {
-	for _, e := range pn.entries {
+	pn.rebuild()
+	for _, e := range pn.ranking {
 		if e.ID == partner {
 			e.Timestamp = 0
 		} else {

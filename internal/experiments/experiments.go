@@ -44,6 +44,10 @@ type Config struct {
 	// Cycles is the default number of protocol cycles for per-cycle
 	// figures; individual experiments scale it to their paper counterpart.
 	Cycles int
+	// Workers is the engine worker count for the parallel lazy-mode
+	// planning phase (0 = all cores). Every value produces identical
+	// tables; Workers only changes how fast they are regenerated.
+	Workers int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -172,6 +176,7 @@ func (w *World) CoreConfig(c int) core.Config {
 	cc.Seed = w.Cfg.Seed
 	cc.MaxDigestsPerGossip = w.Cfg.DigestCap()
 	cc.BloomBits = w.Cfg.ScaledBloomBits()
+	cc.Workers = w.Cfg.Workers
 	return cc
 }
 
@@ -184,6 +189,7 @@ func (w *World) HeteroConfig(lambda float64) core.Config {
 	cc.Seed = w.Cfg.Seed
 	cc.MaxDigestsPerGossip = w.Cfg.DigestCap()
 	cc.BloomBits = w.Cfg.ScaledBloomBits()
+	cc.Workers = w.Cfg.Workers
 	rng := randx.NewSource(w.Cfg.Seed).Split(uint64(lambda * 1000))
 	raw := rng.AssignStorage(w.Cfg.Users, lambda, randx.TailModeFor(lambda))
 	cc.CAssign = make([]int, len(raw))

@@ -1,0 +1,69 @@
+package sim
+
+// Ledger is a thread-confined message recorder for the engine's parallel
+// planning phase. Each planning goroutine owns one Ledger and records the
+// messages its node would send; no shared counter is touched until the
+// engine's sequential commit phase calls Network.Commit, which merges the
+// recorded traffic into the network's per-kind and per-node counters.
+//
+// A Ledger reads the network's liveness (stable within a cycle: Kill and
+// SetOnline only run between cycles) but never writes to it, so any number
+// of Ledgers can record concurrently against the same Network.
+type Ledger struct {
+	nw      *Network
+	records []Record
+}
+
+// Record is one message captured by a Ledger, already resolved against the
+// liveness snapshot: a send to a departed node is stored as the probe it
+// degrades into, exactly as Network.Send would have accounted it.
+type Record struct {
+	From, To NodeID
+	Kind     Kind
+	Bytes    int
+}
+
+// NewLedger returns an empty ledger recording against this network's
+// current liveness.
+func (nw *Network) NewLedger() *Ledger { return &Ledger{nw: nw} }
+
+// Send records a message with the same semantics as Network.Send: it
+// returns true if the destination is online (the message is recorded under
+// its kind) and false otherwise (a probe-sized failed attempt is recorded
+// instead). Senders must be online; recording a send from an offline node
+// panics, as it indicates a protocol bug.
+func (l *Ledger) Send(from, to NodeID, k Kind, bytes int) bool {
+	if !l.nw.online[from] {
+		panic("sim: offline node attempted to send (ledger)")
+	}
+	if !l.nw.online[to] {
+		l.records = append(l.records, Record{From: from, To: to, Kind: MsgProbe, Bytes: ProbeBytes})
+		return false
+	}
+	l.records = append(l.records, Record{From: from, To: to, Kind: k, Bytes: bytes})
+	return true
+}
+
+// Len returns the number of recorded messages.
+func (l *Ledger) Len() int { return len(l.records) }
+
+// Records returns the recorded messages in send order. The slice aliases
+// the ledger; do not modify.
+func (l *Ledger) Records() []Record { return l.records }
+
+// Merge appends the other ledger's records to this one.
+func (l *Ledger) Merge(o *Ledger) {
+	l.records = append(l.records, o.records...)
+}
+
+// Commit merges every message recorded in the ledger into the network's
+// counters and empties the ledger. Committing the ledgers of a cycle in a
+// fixed order yields counters identical to having called Network.Send
+// inline, which is what keeps parallel planning byte-for-byte deterministic.
+func (nw *Network) Commit(l *Ledger) {
+	for _, r := range l.records {
+		nw.total.Add(r.Kind, r.Bytes)
+		nw.perNode[r.From].Add(r.Kind, r.Bytes)
+	}
+	l.records = l.records[:0]
+}

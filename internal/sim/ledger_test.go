@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+func TestLedgerCommitMatchesDirectSends(t *testing.T) {
+	direct := NewNetwork(4)
+	recorded := NewNetwork(4)
+	direct.SetOnline(3, false)
+	recorded.SetOnline(3, false)
+
+	type msg struct {
+		from, to NodeID
+		kind     Kind
+		bytes    int
+	}
+	msgs := []msg{
+		{0, 1, MsgTopDigest, 100},
+		{1, 0, MsgCommonItems, 40},
+		{2, 3, MsgProfile, 900}, // offline dest: degrades to a probe
+		{0, 2, MsgRandomView, 64},
+	}
+	for _, m := range msgs {
+		direct.Send(m.from, m.to, m.kind, m.bytes)
+	}
+	l := recorded.NewLedger()
+	for _, m := range msgs {
+		l.Send(m.from, m.to, m.kind, m.bytes)
+	}
+	if l.Len() != len(msgs) {
+		t.Fatalf("ledger recorded %d messages, want %d", l.Len(), len(msgs))
+	}
+	// Nothing is accounted before Commit.
+	if recorded.Total().TotalMsgs() != 0 {
+		t.Fatal("ledger sends leaked into network counters before Commit")
+	}
+	recorded.Commit(l)
+	if l.Len() != 0 {
+		t.Fatal("Commit did not empty the ledger")
+	}
+	if direct.Total() != recorded.Total() {
+		t.Fatalf("total counters diverge:\ndirect   %+v\nrecorded %+v", direct.Total(), recorded.Total())
+	}
+	for u := 0; u < 4; u++ {
+		if direct.NodeTraffic(NodeID(u)) != recorded.NodeTraffic(NodeID(u)) {
+			t.Fatalf("per-node counters diverge for node %d", u)
+		}
+	}
+	if recorded.Total().Msgs[MsgProbe] != 1 {
+		t.Fatal("offline destination was not degraded to a probe")
+	}
+}
+
+func TestLedgerMerge(t *testing.T) {
+	nw := NewNetwork(2)
+	a, b := nw.NewLedger(), nw.NewLedger()
+	a.Send(0, 1, MsgTopDigest, 10)
+	b.Send(1, 0, MsgProfile, 20)
+	a.Merge(b)
+	if a.Len() != 2 {
+		t.Fatalf("merged ledger has %d records, want 2", a.Len())
+	}
+	nw.Commit(a)
+	if nw.Total().TotalBytes() != 30 {
+		t.Fatalf("committed %d bytes, want 30", nw.Total().TotalBytes())
+	}
+}
+
+func TestLedgerOfflineSenderPanics(t *testing.T) {
+	nw := NewNetwork(2)
+	nw.SetOnline(0, false)
+	l := nw.NewLedger()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ledger send from offline node did not panic")
+		}
+	}()
+	l.Send(0, 1, MsgTopDigest, 1)
+}

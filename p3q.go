@@ -27,6 +27,13 @@
 //	    fmt.Println(run.Results()) // refined every cycle
 //	}
 //
+// The lazy mode runs multicore: each cycle plans every node's exchanges
+// concurrently on Config.Workers goroutines and commits the results
+// sequentially in a canonical order, so runs are byte-for-byte
+// deterministic — identical personal networks, query results and traffic
+// counters — for every worker count (and across repeated runs with the
+// same seed).
+//
 // See the examples directory for runnable scenarios and internal/experiments
 // for the harness reproducing every table and figure of the paper.
 package p3q
@@ -80,7 +87,8 @@ type (
 )
 
 // DefaultConfig returns the laptop-scale protocol configuration (s=100,
-// c=10, r=10, alpha=0.5, k=10, the paper's Bloom geometry).
+// c=10, r=10, alpha=0.5, k=10, the paper's Bloom geometry, lazy-mode
+// planning on all cores).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // NewEngine builds an engine over the dataset. Call Bootstrap and RunLazy
