@@ -296,6 +296,52 @@ func BenchmarkLazyConvergence5k(b *testing.B) {
 	}
 }
 
+// BenchmarkEagerBurst5k times one eager cycle over the same 5000-user
+// population while it serves a burst of in-flight queries, per worker
+// count — the eager counterpart of BenchmarkLazyConvergence5k. The engine
+// is byte-for-byte deterministic in Workers, so every sub-bench performs
+// the same protocol work and the per-op times compare wall clock directly.
+// When the in-flight burst drains, a fresh one is issued outside the
+// timer, so every measured cycle carries live query load.
+func BenchmarkEagerBurst5k(b *testing.B) {
+	for _, workers := range lazyWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ds := lazyBenchDataset(b)
+			cfg := p3q.DefaultConfig()
+			cfg.S, cfg.C = 50, 10
+			cfg.BloomBits, cfg.BloomHashes = 2048, 6
+			cfg.Workers = workers
+			cfg.Seed = 7
+			e := p3q.NewEngine(ds, cfg)
+			e.Bootstrap()
+			e.RunLazy(4) // grow personal networks so queries have branches to gossip
+			queries := p3q.GenerateQueries(ds, 11)
+			next := 0
+			issueBurst := func() {
+				for issued := 0; issued < 512 && next < len(queries); next++ {
+					if e.IssueQuery(queries[next]) != nil {
+						issued++
+					}
+				}
+			}
+			issueBurst()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if e.AllQueriesDone() {
+					b.StopTimer()
+					if next >= len(queries) {
+						next = 0
+						queries = p3q.GenerateQueries(ds, uint64(13+i))
+					}
+					issueBurst()
+					b.StartTimer()
+				}
+				e.EagerCycle()
+			}
+		})
+	}
+}
+
 // BenchmarkLazyChurn5k times lazy cycles over the same population under
 // 30% departures, the regime where probe retries and view healing shift
 // work between the planning and commit phases.

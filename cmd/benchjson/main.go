@@ -1,0 +1,132 @@
+// Command benchjson converts the text output of `go test -bench` into a
+// machine-readable JSON document, so CI can archive benchmark results as
+// BENCH_*.json artifacts and the repository can track its performance
+// trajectory (e.g. BenchmarkLazyConvergence5k and BenchmarkEagerBurst5k
+// per worker count) across commits.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. ./... | benchjson -o BENCH_abc123.json
+//	benchjson < bench.out            # JSON to stdout
+//
+// Each benchmark result line becomes one record carrying the benchmark
+// name, the iteration count, and every reported metric (ns/op, B/op,
+// allocs/op, and custom b.ReportMetric units) keyed by unit. Context lines
+// (goos, goarch, pkg, cpu) annotate the records that follow them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` text output and extracts every benchmark
+// result line. Unrecognized lines are ignored, so interleaved test output
+// does not break the conversion.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Results: []Result{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		}
+		if res, ok := parseResult(line); ok {
+			res.Pkg = pkg
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseResult parses one benchmark result line of the form
+//
+//	BenchmarkName[/sub]-P  iterations  value unit  [value unit]...
+//
+// and returns ok=false for anything else.
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	// The remainder is (value, unit) pairs.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		res.Metrics[rest[i+1]] = v
+	}
+	return res, true
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: p3q
+cpu: AMD EPYC 7B13
+BenchmarkLazyConvergence5k/workers=1-8         	       3	 412345678 ns/op
+BenchmarkLazyConvergence5k/workers=8-8         	      10	 112345678 ns/op	     512 B/op	       4 allocs/op
+BenchmarkEagerBurst5k/workers=8-8              	       5	 212345678 ns/op
+BenchmarkAblationThreeStepExchange-8           	       2	 912345678 ns/op	      42.5 actualB/user/cycle	     99.5 naiveB/user/cycle
+--- BENCH: BenchmarkSomething
+    some interleaved log line
+PASS
+ok  	p3q	12.345s
+`
+
+func TestParseSample(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Fatalf("context lines misparsed: %+v", rep)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rep.Results))
+	}
+	first := rep.Results[0]
+	if first.Name != "BenchmarkLazyConvergence5k/workers=1-8" || first.Pkg != "p3q" {
+		t.Fatalf("first result misparsed: %+v", first)
+	}
+	if first.Iterations != 3 || first.Metrics["ns/op"] != 412345678 {
+		t.Fatalf("first result values misparsed: %+v", first)
+	}
+	second := rep.Results[1]
+	if second.Metrics["B/op"] != 512 || second.Metrics["allocs/op"] != 4 {
+		t.Fatalf("memory metrics misparsed: %+v", second)
+	}
+	last := rep.Results[3]
+	if last.Metrics["actualB/user/cycle"] != 42.5 || last.Metrics["naiveB/user/cycle"] != 99.5 {
+		t.Fatalf("custom metrics misparsed: %+v", last)
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	rep, err := parse(strings.NewReader("hello\nBenchmarkBroken 12\nok p3q 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Fatalf("noise produced %d results", len(rep.Results))
+	}
+}

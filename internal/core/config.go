@@ -68,13 +68,15 @@ type Config struct {
 	// the bias on.
 	DisableEagerBias bool
 	// Workers is the number of goroutines the engine uses for the parallel
-	// planning phase of lazy cycles (partner selection, Bloom-digest
-	// filtering, common-item scoring, random-view evaluation). 0 (the
-	// default) means runtime.GOMAXPROCS(0); 1 forces fully sequential
-	// execution. The commit phase is sequential in the engine's canonical
-	// permutation order regardless, so every value of Workers produces
-	// byte-for-byte identical personal networks, query results and traffic
-	// counters.
+	// planning phases of both modes: lazy cycles (partner selection,
+	// Bloom-digest filtering, common-item scoring, random-view evaluation)
+	// and eager cycles (destination selection, remaining-list resolution,
+	// partial-list computation, the α-split and the piggybacked maintenance
+	// exchange, planned per (initiator, query) gossip). 0 (the default)
+	// means runtime.GOMAXPROCS(0); 1 forces fully sequential execution. The
+	// commit phase is sequential in the engine's canonical order regardless,
+	// so every value of Workers produces byte-for-byte identical personal
+	// networks, query results and traffic counters.
 	Workers int
 	// StaticNetworks freezes personal-network membership: gossip still
 	// refreshes the digests, scores and stored replicas of existing

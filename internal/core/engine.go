@@ -18,10 +18,11 @@ import (
 //
 // Engines are deterministic: identical dataset, configuration and seed
 // reproduce identical cycles, byte counts and query results — independently
-// of Config.Workers. Lazy cycles run in two plan/commit rounds: a worker
-// pool of Config.Workers goroutines plans every online node's exchanges
-// concurrently against the cycle-start state (see lazy.go), and a single
-// goroutine commits the resulting intents in the canonical permutation
+// of Config.Workers. Both modes run on a plan/commit design: a worker pool
+// of Config.Workers goroutines plans the cycle's exchanges concurrently
+// against the cycle-start state (per online node in lazy cycles, see
+// lazy.go; per (initiator, query) gossip in eager cycles, see eager.go),
+// and a single goroutine commits the resulting intents in the canonical
 // order. The worker pool is internal; the engine's methods themselves must
 // still be called from one goroutine at a time.
 type Engine struct {
@@ -34,9 +35,9 @@ type Engine struct {
 	lazyCycles  int
 	eagerCycles int
 
-	// cycleSeq numbers every lazy cycle ever started; it labels the
-	// per-cycle split streams of the planning phase so no two cycles reuse
-	// a stream.
+	// cycleSeq numbers every cycle (lazy or eager) ever started; it labels
+	// the per-cycle split streams of the planning phases so no two cycles
+	// reuse a stream.
 	cycleSeq uint64
 	// killSeq numbers every Kill call; it labels the kill stream so two
 	// Kill calls with no intervening cycle still draw independent sets.
@@ -120,10 +121,15 @@ func (e *Engine) Queries() []*QueryRun {
 // (ablation of the design choice in §2.2.1).
 func (e *Engine) NaiveExchangeBytes() uint64 { return e.naiveExchangeBytes }
 
-// AllQueriesDone reports whether every issued query has completed.
+// AllQueriesDone reports whether every issued query has settled: completed,
+// or stalled because its querier departed mid-query. A stalled query resumes
+// automatically once the querier revives (so AllQueriesDone may flip back to
+// false after a Revive), but while the querier is away it must not keep
+// RunEager burning cycles forwarding branches nobody will read.
 func (e *Engine) AllQueriesDone() bool {
 	for _, id := range e.queryOrder {
-		if !e.queries[id].done {
+		qr := e.queries[id]
+		if !qr.done && !qr.Stalled() {
 			return false
 		}
 	}
@@ -211,19 +217,20 @@ func (e *Engine) LazyCycle() {
 // skewed per-node costs.
 const planChunk = 64
 
-// forEachNode runs fn for every node. With Workers > 1 the nodes are
-// processed by a worker pool in chunks; fn must therefore be safe to run
-// concurrently for distinct nodes (the planning contract: read shared
-// state, write only the node's own slot). The set of fn invocations is
-// identical for every worker count — only the schedule differs.
-func (e *Engine) forEachNode(fn func(n *Node)) {
+// forEachIndex runs fn for every index in [0, n). With Workers > 1 the
+// indices are processed by a worker pool in chunks; fn must therefore be
+// safe to run concurrently for distinct indices (the planning contract:
+// read shared state, write only the index's own slot). The set of fn
+// invocations is identical for every worker count — only the schedule
+// differs.
+func (e *Engine) forEachIndex(n int, fn func(i int)) {
 	workers := e.cfg.Workers
-	if max := (len(e.nodes) + planChunk - 1) / planChunk; workers > max {
+	if max := (n + planChunk - 1) / planChunk; workers > max {
 		workers = max
 	}
 	if workers <= 1 {
-		for _, n := range e.nodes {
-			fn(n)
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
 		return
 	}
@@ -235,20 +242,25 @@ func (e *Engine) forEachNode(fn func(n *Node)) {
 			defer wg.Done()
 			for {
 				lo := int(next.Add(planChunk)) - planChunk
-				if lo >= len(e.nodes) {
+				if lo >= n {
 					return
 				}
 				hi := lo + planChunk
-				if hi > len(e.nodes) {
-					hi = len(e.nodes)
+				if hi > n {
+					hi = n
 				}
-				for _, n := range e.nodes[lo:hi] {
-					fn(n)
+				for i := lo; i < hi; i++ {
+					fn(i)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// forEachNode runs fn for every node under the forEachIndex contract.
+func (e *Engine) forEachNode(fn func(n *Node)) {
+	e.forEachIndex(len(e.nodes), func(i int) { fn(e.nodes[i]) })
 }
 
 // RunLazy runs n lazy cycles.
@@ -258,8 +270,9 @@ func (e *Engine) RunLazy(n int) {
 	}
 }
 
-// RunEager runs eager cycles until every issued query completes or
-// maxCycles elapse, returning the number of cycles executed.
+// RunEager runs eager cycles until every issued query settles (completes,
+// or stalls on a departed querier) or maxCycles elapse, returning the
+// number of cycles executed.
 func (e *Engine) RunEager(maxCycles int) int {
 	ran := 0
 	for ; ran < maxCycles && !e.AllQueriesDone(); ran++ {

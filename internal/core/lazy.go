@@ -28,27 +28,33 @@ import (
 //     profile storage (step 3, which depends on the committed network) and
 //     traffic accounting.
 //
-// The eager mode reuses the same plan/commit primitives inline (plan one
-// pair, commit immediately), which preserves its strictly sequential
-// semantics.
+// The eager mode runs on the same primitives: EagerCycle (eager.go) plans
+// every (initiator, query) gossip concurrently — including the piggybacked
+// top-layer maintenance exchange, planned through planTopExchange below —
+// and commits the intents in the canonical pair order.
 
-// Randomness purposes of the lazy planning phase. Each planner derives its
+// Randomness purposes of the planning phases. Each planner derives its
 // streams by splitting node sources with a label that encodes the cycle
 // sequence number, the purpose, and (for partner-side streams) the
 // initiator, so no two derived streams in the history of a run coincide
-// and no planner ever advances a shared source.
+// and no planner ever advances a shared source. The eager purposes are
+// additionally split per query (see eagerStream in eager.go).
 const (
-	purposeView      uint64 = iota // initiator's bottom-layer stream
-	purposeViewReply               // partner's bottom-layer stream
-	purposeTop                     // initiator's top-layer stream
-	purposeTopReply                // partner's top-layer stream
+	purposeView          uint64 = iota // initiator's bottom-layer stream
+	purposeViewReply                   // partner's bottom-layer stream
+	purposeTop                         // initiator's top-layer stream
+	purposeTopReply                    // partner's top-layer stream
+	purposeEagerDest                   // initiator's destination-selection stream
+	purposeEagerSplit                  // destination's remaining-list split stream
+	purposeEagerAdv                    // initiator's piggybacked advertise stream
+	purposeEagerAdvReply               // destination's piggybacked advertise stream
 )
 
 // planLabel packs (cycle sequence, purpose, peer) into a unique split
-// label: peer occupies the low 32 bits, the purpose the next 2, and the
+// label: peer occupies the low 32 bits, the purpose the next 3, and the
 // cycle sequence the rest. Initiator-side streams use peer 0.
 func planLabel(seq, purpose uint64, peer tagging.UserID) uint64 {
-	return seq<<34 | purpose<<32 | uint64(peer)
+	return seq<<35 | purpose<<32 | uint64(peer)
 }
 
 // viewPlan is one node's planned bottom-layer exchange: the selected
@@ -140,13 +146,11 @@ type rvContact struct {
 // 3-step exchange planned for both sides, and the random-view contacts.
 type topPlan struct {
 	ledger *sim.Ledger
-	naive  uint64           // 3-step ablation ledger contribution
 	resets []tagging.UserID // departed partners probed: reset their timestamps
 
 	partner tagging.UserID
 	ok      bool
-	intPeer *integration // partner's integration of the initiator's offers
-	intSelf *integration // initiator's integration of the partner's offers
+	exch    *exchangePlan // the symmetric 3-step exchange with the partner
 
 	rv []rvContact
 }
@@ -189,13 +193,7 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 	seen := make(map[tagging.UserID]int)
 	if b != nil {
 		p.partner, p.ok = b.id, true
-		offersA := a.advertise(rng)
-		offersB := b.advertise(b.rng.Split(planLabel(seq, purposeTopReply, a.id)))
-		p.ledger.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(offersA))
-		p.ledger.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(offersB))
-		p.naive = naiveOffersBytes(offersA) + naiveOffersBytes(offersB)
-		p.intPeer = planIntegrate(b, offersA, a.id, nil)
-		p.intSelf = planIntegrate(a, offersB, b.id, seen)
+		p.exch = e.planTopExchange(a, b, rng, b.rng.Split(planLabel(seq, purposeTopReply, a.id)), seen)
 	}
 
 	// Random-view evaluation: score the members whose digests indicate at
@@ -242,21 +240,19 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 }
 
 // commitTop applies one planned top-layer gossip in the canonical order:
-// message ledger, probe timestamp resets, both sides' integrations, the
-// gossip timestamps, and the random-view contacts.
+// probe ledger, probe timestamp resets, the partner exchange, the gossip
+// timestamps, and the random-view contacts.
 func (e *Engine) commitTop(a *Node, p *topPlan) {
 	if p == nil {
 		return
 	}
 	e.net.Commit(p.ledger)
-	e.naiveExchangeBytes += p.naive
 	for _, id := range p.resets {
 		a.pnet.ResetTimestamp(id)
 	}
 	if p.ok {
 		b := e.nodes[p.partner]
-		b.commitIntegration(p.intPeer)
-		a.commitIntegration(p.intSelf)
+		e.commitTopExchange(a, b, p.exch)
 		a.pnet.Touch(p.partner)
 		b.pnet.ResetTimestamp(a.id)
 	}
@@ -270,19 +266,44 @@ func (e *Engine) commitTop(a *Node, p *topPlan) {
 	}
 }
 
-// topExchange performs the symmetric top-layer exchange between two online
-// nodes: both sides advertise digests (step 1) and integrate what they
-// received (steps 2-3). It is the sequential plan-and-commit-inline path
-// used by the eager mode (Algorithm 3, "maintain personal network as in
-// lazy mode"); the lazy mode plans the same exchange through planTop.
-func (e *Engine) topExchange(a, b *Node) {
-	offersA := a.advertise(a.rng)
-	offersB := b.advertise(b.rng)
-	e.net.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(offersA))
-	e.net.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(offersB))
-	e.naiveExchangeBytes += naiveOffersBytes(offersA) + naiveOffersBytes(offersB)
-	b.integrate(offersA, a.id)
-	a.integrate(offersB, b.id)
+// exchangePlan is one planned symmetric top-layer exchange between two
+// online nodes (Algorithm 3, "maintain personal network as in lazy mode",
+// and the partner half of planTop): both sides' step-1 digest messages,
+// the ablation side ledger, and the planned integrations of what each side
+// received. Steps 2-3 resolve at commit time through commitIntegration.
+type exchangePlan struct {
+	ledger  *sim.Ledger
+	naive   uint64       // 3-step ablation ledger contribution
+	intPeer *integration // b's integration of a's offers
+	intSelf *integration // a's integration of b's offers
+}
+
+// planTopExchange plans the symmetric top-layer exchange between two online
+// nodes: both sides advertise digests (step 1) and the received batches are
+// scored against cycle-start state. The advertising randomness is passed in
+// explicitly so both the lazy and the eager planners can derive per-cycle
+// split streams; seen optionally overlays versions the caller's plan has
+// already scored on a's side (the lazy planner shares it with its
+// random-view pass).
+func (e *Engine) planTopExchange(a, b *Node, rngA, rngB *randx.Source, seen map[tagging.UserID]int) *exchangePlan {
+	p := &exchangePlan{ledger: e.net.NewLedger()}
+	offersA := a.advertise(rngA)
+	offersB := b.advertise(rngB)
+	p.ledger.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(offersA))
+	p.ledger.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(offersB))
+	p.naive = naiveOffersBytes(offersA) + naiveOffersBytes(offersB)
+	p.intPeer = planIntegrate(b, offersA, a.id, nil)
+	p.intSelf = planIntegrate(a, offersB, b.id, seen)
+	return p
+}
+
+// commitTopExchange applies a planned exchange: the step-1 ledger, the
+// ablation side ledger, and both sides' integrations (steps 2-3).
+func (e *Engine) commitTopExchange(a, b *Node, p *exchangePlan) {
+	e.net.Commit(p.ledger)
+	e.naiveExchangeBytes += p.naive
+	b.commitIntegration(p.intPeer)
+	a.commitIntegration(p.intSelf)
 }
 
 // naiveOffersBytes is the 3-step-ablation side ledger for one offer batch:
@@ -434,15 +455,6 @@ func (n *Node) commitIntegration(it *integration) {
 	for _, entry := range directFetch {
 		n.fetchFromOwner(entry)
 	}
-}
-
-// integrate processes a batch of received profile advertisements per
-// Algorithm 1, sequentially: plan against the current state and commit
-// immediately. This is the eager mode's path; the lazy mode separates the
-// two halves across its plan and commit phases.
-func (n *Node) integrate(offers []offer, provider tagging.UserID) {
-	n.checkEvalCache()
-	n.commitIntegration(planIntegrate(n, offers, provider, nil))
 }
 
 // fetchFromOwner retrieves a neighbour's full fresh profile directly from

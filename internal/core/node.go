@@ -83,9 +83,10 @@ type offer struct {
 // own profile plus a random subset of at most MaxDigestsPerGossip stored
 // neighbour profiles ("if more than 50 profiles are stored ... 50 random
 // ones among them are exchanged ... Otherwise, all the profiles are
-// exchanged"). The sampling randomness is passed in explicitly: the eager
-// mode draws from the node's live stream, the lazy planner from a
-// per-cycle split stream so that concurrent planners never contend on it.
+// exchanged"). The sampling randomness is passed in explicitly: both the
+// lazy and the eager planners derive per-cycle split streams (planLabel /
+// eagerStream) so that concurrent planners never contend on a shared
+// source.
 func (n *Node) advertise(rng *randx.Source) []offer {
 	stored := n.pnet.StoredEntries()
 	max := n.e.cfg.MaxDigestsPerGossip

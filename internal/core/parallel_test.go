@@ -29,7 +29,7 @@ func engineFingerprint(e *Engine) string {
 		out += fmt.Sprintf("  sent msgs=%d bytes=%d\n", tr.TotalMsgs(), tr.TotalBytes())
 	}
 	for _, qr := range e.Queries() {
-		out += fmt.Sprintf("query %d done=%v reached=%d used=%d:", qr.ID, qr.Done(), qr.UsersReached(), qr.ProfilesUsed())
+		out += fmt.Sprintf("query %d state=%v reached=%v used=%d:", qr.ID, qr.State(), qr.Reached(), qr.ProfilesUsed())
 		for _, r := range qr.Results() {
 			out += fmt.Sprintf(" %d/%d", r.Item, r.Score)
 		}
@@ -45,8 +45,10 @@ func engineFingerprint(e *Engine) string {
 }
 
 // runMixedWorkload drives an engine through the full protocol surface:
-// organic lazy convergence, profile changes, queries over eager cycles,
-// massive departures, more lazy cycles, and revival.
+// organic lazy convergence, profile changes, a query burst over eager
+// cycles with massive departures striking mid-burst (stalling the killed
+// queriers' queries and probing departed branch holders), lazy maintenance
+// under churn, revival, and a second churn wave.
 func runMixedWorkload(t *testing.T, workers int) string {
 	t.Helper()
 	cfg := smallCfg()
@@ -63,14 +65,36 @@ func runMixedWorkload(t *testing.T, workers int) string {
 	}))
 	e.RunLazy(4)
 
-	for _, q := range trace.GenerateQueries(w.ds, 5)[:10] {
+	for _, q := range trace.GenerateQueries(w.ds, 5)[:20] {
 		e.IssueQuery(q)
 	}
-	e.RunEager(20)
+	e.RunEager(2)
 
+	// Churn mid-burst: 25% departures over 20 queriers all but guarantee
+	// stalled queries; the survivors keep gossiping around the holes.
 	killed := e.Kill(0.25)
 	if len(killed) == 0 {
 		t.Fatal("Kill removed nobody")
+	}
+	stalled := 0
+	for _, qr := range e.Queries() {
+		if qr.State() == QueryStalled {
+			stalled++
+		}
+	}
+	if stalled == 0 {
+		t.Fatal("churn stalled no query; the mixed scenario must cover the querier-departure path")
+	}
+	for i := 0; i < 3; i++ {
+		e.EagerCycle()
+	}
+	e.RunLazy(2)
+	e.Revive(killed)
+	e.RunEager(20) // stalled queries resume
+
+	killed = e.Kill(0.25)
+	if len(killed) == 0 {
+		t.Fatal("second Kill removed nobody")
 	}
 	e.RunLazy(4)
 	e.Revive(killed)
@@ -79,11 +103,12 @@ func runMixedWorkload(t *testing.T, workers int) string {
 	return engineFingerprint(e)
 }
 
-func TestLazyParallelDeterminism(t *testing.T) {
+func TestParallelDeterminism(t *testing.T) {
 	// A Workers: N engine and a Workers: 1 engine over the same dataset
-	// and seed must produce identical personal networks, query results and
-	// sim.Network byte counters after mixed lazy/eager/churn cycles. Run
-	// this test under -race to also certify the planning phase data-race
+	// and seed must produce byte-for-byte identical personal networks,
+	// query results, reached-sets and sim.Network traffic counters after
+	// mixed lazy/eager/churn cycles — both modes now plan in parallel. Run
+	// this test under -race to also certify the planning phases data-race
 	// free (the CI workflow does).
 	sequential := runMixedWorkload(t, 1)
 	for _, workers := range []int{2, 8} {
@@ -110,8 +135,8 @@ func firstDiff(a, b string) string {
 	return fmt.Sprintf("lengths differ: %d vs %d", len(a), len(b))
 }
 
-func TestLazyCycleRepeatedRunsIdentical(t *testing.T) {
-	// Two runs at the same worker count are identical too (the planner's
+func TestRepeatedRunsIdentical(t *testing.T) {
+	// Two runs at the same worker count are identical too (the planners'
 	// split streams are pure functions of the cycle-start state).
 	a := runMixedWorkload(t, 4)
 	b := runMixedWorkload(t, 4)

@@ -26,6 +26,9 @@ type EngineStats struct {
 
 	QueriesIssued int
 	QueriesDone   int
+	// QueriesStalled counts queries suspended because their querier
+	// departed mid-query; they resume when the querier revives.
+	QueriesStalled int
 
 	Traffic sim.Traffic
 }
@@ -53,8 +56,11 @@ func (e *Engine) Stats() EngineStats {
 		st.MeanStored = float64(stored) / float64(st.Users)
 	}
 	for _, id := range e.queryOrder {
-		if e.queries[id].done {
+		qr := e.queries[id]
+		if qr.done {
 			st.QueriesDone++
+		} else if qr.Stalled() {
+			st.QueriesStalled++
 		}
 	}
 	return st

@@ -44,8 +44,8 @@ type Config struct {
 	// Cycles is the default number of protocol cycles for per-cycle
 	// figures; individual experiments scale it to their paper counterpart.
 	Cycles int
-	// Workers is the engine worker count for the parallel lazy-mode
-	// planning phase (0 = all cores). Every value produces identical
+	// Workers is the engine worker count for the parallel planning phases
+	// of both modes (0 = all cores). Every value produces identical
 	// tables; Workers only changes how fast they are regenerated.
 	Workers int
 	// Seed drives all randomness.

@@ -1,10 +1,12 @@
 package sim
 
 // Ledger is a thread-confined message recorder for the engine's parallel
-// planning phase. Each planning goroutine owns one Ledger and records the
-// messages its node would send; no shared counter is touched until the
-// engine's sequential commit phase calls Network.Commit, which merges the
-// recorded traffic into the network's per-kind and per-node counters.
+// planning phases (both the lazy mode's per-node plans and the eager
+// mode's per-(initiator, query) plans). Each planning goroutine owns its
+// Ledgers and records the messages its unit of work would send; no shared
+// counter is touched until the engine's sequential commit phase calls
+// Network.Commit, which merges the recorded traffic into the network's
+// per-kind and per-node counters.
 //
 // A Ledger reads the network's liveness (stable within a cycle: Kill and
 // SetOnline only run between cycles) but never writes to it, so any number
@@ -54,6 +56,16 @@ func (l *Ledger) Records() []Record { return l.records }
 // Merge appends the other ledger's records to this one.
 func (l *Ledger) Merge(o *Ledger) {
 	l.records = append(l.records, o.records...)
+}
+
+// Total returns the per-kind traffic the ledger has recorded so far, i.e.
+// what Commit would add to the network's counters.
+func (l *Ledger) Total() Traffic {
+	var t Traffic
+	for _, r := range l.records {
+		t.Add(r.Kind, r.Bytes)
+	}
+	return t
 }
 
 // Commit merges every message recorded in the ledger into the network's

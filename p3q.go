@@ -27,12 +27,17 @@
 //	    fmt.Println(run.Results()) // refined every cycle
 //	}
 //
-// The lazy mode runs multicore: each cycle plans every node's exchanges
-// concurrently on Config.Workers goroutines and commits the results
-// sequentially in a canonical order, so runs are byte-for-byte
-// deterministic — identical personal networks, query results and traffic
-// counters — for every worker count (and across repeated runs with the
-// same seed).
+// Both modes run multicore: a lazy cycle plans every node's exchanges and
+// an eager cycle plans every (initiator, query) gossip concurrently on
+// Config.Workers goroutines, then commits the results sequentially in a
+// canonical order. Runs are byte-for-byte deterministic — identical
+// personal networks, query results, reached-sets and traffic counters —
+// for every worker count (and across repeated runs with the same seed).
+//
+// Queries survive querier churn: if the querier departs mid-query the run
+// stalls (QueryRun.State reports QueryStalled, and the engine stops
+// spending eager cycles on it) and resumes automatically when the querier
+// revives, still reaching full recall.
 //
 // See the examples directory for runnable scenarios and internal/experiments
 // for the harness reproducing every table and figure of the paper.
