@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"p3q"
 	"p3q/internal/analysis"
@@ -270,12 +271,23 @@ func lazyWorkerCounts() []int {
 	return counts
 }
 
+// reportPhaseMetrics converts a PhaseDurations window into per-op plan and
+// commit metrics, so the bench artifacts track the two phases separately —
+// the commit phase was the Amdahl limit of both cycle kinds before it was
+// sharded, and these metrics pin how much of each cycle it still costs.
+func reportPhaseMetrics(b *testing.B, e *p3q.Engine, plan0, commit0 time.Duration) {
+	plan1, commit1 := e.PhaseDurations()
+	b.ReportMetric(float64(plan1-plan0)/float64(b.N), "plan-ns/op")
+	b.ReportMetric(float64(commit1-commit0)/float64(b.N), "commit-ns/op")
+}
+
 // BenchmarkLazyConvergence5k times one lazy-mode cycle over a 5000-user
 // population converging from Bootstrap, per worker count. The engine is
 // byte-for-byte deterministic in Workers, so every sub-bench performs the
 // exact same protocol work and the per-op times compare wall clock
 // directly: the speedup at workers=GOMAXPROCS over workers=1 is the
-// parallel planning phase's multicore yield.
+// multicore yield of the parallel planning phase plus the sharded commit
+// phase (reported separately via plan-ns/op and commit-ns/op).
 func BenchmarkLazyConvergence5k(b *testing.B) {
 	for _, workers := range lazyWorkerCounts() {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
@@ -288,10 +300,13 @@ func BenchmarkLazyConvergence5k(b *testing.B) {
 			e := p3q.NewEngine(ds, cfg)
 			e.Bootstrap()
 			e.RunLazy(2) // past the empty-network cold start
+			plan0, commit0 := e.PhaseDurations()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.LazyCycle()
 			}
+			b.StopTimer()
+			reportPhaseMetrics(b, e, plan0, commit0)
 		})
 	}
 }
@@ -325,6 +340,7 @@ func BenchmarkEagerBurst5k(b *testing.B) {
 				}
 			}
 			issueBurst()
+			plan0, commit0 := e.PhaseDurations()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if e.AllQueriesDone() {
@@ -338,6 +354,8 @@ func BenchmarkEagerBurst5k(b *testing.B) {
 				}
 				e.EagerCycle()
 			}
+			b.StopTimer()
+			reportPhaseMetrics(b, e, plan0, commit0)
 		})
 	}
 }

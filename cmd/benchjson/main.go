@@ -7,12 +7,20 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. ./... | benchjson -o BENCH_abc123.json
-//	benchjson < bench.out            # JSON to stdout
+//	benchjson < bench.out                     # JSON to stdout
+//	benchjson -compare old.json new.json      # flag regressions
 //
 // Each benchmark result line becomes one record carrying the benchmark
 // name, the iteration count, and every reported metric (ns/op, B/op,
 // allocs/op, and custom b.ReportMetric units) keyed by unit. Context lines
 // (goos, goarch, pkg, cpu) annotate the records that follow them.
+//
+// The -compare mode diffs two previously archived artifacts: it prints the
+// ns/op delta of every benchmark present in both, and exits non-zero when
+// a tracked benchmark (by default the BenchmarkLazyConvergence5k and
+// BenchmarkEagerBurst5k families, override with -track) slowed down by
+// more than -threshold (default 10%). CI runs it against the previous
+// commit's artifact when one exists.
 package main
 
 import (
@@ -22,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -42,9 +51,38 @@ type Report struct {
 	Results []Result `json:"results"`
 }
 
+// defaultTracked is the benchmark families whose regressions fail the
+// -compare mode: the two 5000-user engine benches the ROADMAP tracks
+// across commits.
+const defaultTracked = "BenchmarkLazyConvergence5k,BenchmarkEagerBurst5k"
+
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
+	compare := flag.Bool("compare", false, "compare two archived artifacts: benchjson -compare old.json new.json")
+	threshold := flag.Float64("threshold", 0.10, "ns/op slowdown fraction that counts as a regression in -compare mode")
+	track := flag.String("track", defaultTracked, "comma-separated benchmark name prefixes whose regressions fail -compare mode")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := loadReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		newRep, err := loadReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		if n := compareReports(oldRep, newRep, splitTracked(*track), *threshold, os.Stdout); n > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	report, err := parse(os.Stdin)
 	if err != nil {
@@ -67,6 +105,106 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads one archived BENCH_*.json artifact.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep := &Report{}
+	if err := json.NewDecoder(f).Decode(rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// splitTracked parses the -track flag into non-empty prefixes.
+func splitTracked(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// benchKey identifies a benchmark across artifacts. The trailing
+// -GOMAXPROCS suffix is stripped so artifacts from machines reporting
+// different core counts still line up.
+func benchKey(r Result) string {
+	name := r.Name
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return r.Pkg + " " + name
+}
+
+// compareReports prints the ns/op delta of every benchmark present in both
+// reports and returns the number of tracked regressions: tracked
+// benchmarks (matched by name prefix) whose ns/op grew by more than
+// threshold. Benchmarks missing from either side are skipped — a renamed
+// or new bench is not a regression.
+func compareReports(oldRep, newRep *Report, tracked []string, threshold float64, w io.Writer) int {
+	// First occurrence wins on both sides: artifacts holding several -cpu
+	// variants of one benchmark (whose -P suffixes strip to the same key)
+	// must resolve to the same variant in both reports.
+	oldNs := make(map[string]float64, len(oldRep.Results))
+	for _, r := range oldRep.Results {
+		k := benchKey(r)
+		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
+			if _, dup := oldNs[k]; !dup {
+				oldNs[k] = ns
+			}
+		}
+	}
+	isTracked := func(name string) bool {
+		short := name[strings.LastIndex(name, " ")+1:]
+		for _, p := range tracked {
+			if strings.HasPrefix(short, p) {
+				return true
+			}
+		}
+		return false
+	}
+	regressions := 0
+	keys := make([]string, 0, len(newRep.Results))
+	newNs := make(map[string]float64, len(newRep.Results))
+	for _, r := range newRep.Results {
+		k := benchKey(r)
+		if ns, ok := r.Metrics["ns/op"]; ok {
+			if _, dup := newNs[k]; !dup {
+				keys = append(keys, k)
+				newNs[k] = ns
+			}
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		old, ok := oldNs[k]
+		if !ok {
+			continue
+		}
+		delta := (newNs[k] - old) / old
+		mark := ""
+		if isTracked(k) {
+			mark = " [tracked]"
+			if delta > threshold {
+				mark = " [REGRESSION]"
+				regressions++
+			}
+		}
+		fmt.Fprintf(w, "%-60s %14.0f -> %14.0f ns/op  %+6.1f%%%s\n", k, old, newNs[k], 100*delta, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d tracked benchmark(s) regressed beyond %.0f%%\n", regressions, 100*threshold)
+	}
+	return regressions
 }
 
 // parse reads `go test -bench` text output and extracts every benchmark

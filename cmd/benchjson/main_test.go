@@ -56,3 +56,81 @@ func TestParseIgnoresNoise(t *testing.T) {
 		t.Fatalf("noise produced %d results", len(rep.Results))
 	}
 }
+
+// mkReport builds a one-package report with the given (name, ns/op) pairs.
+func mkReport(ns map[string]float64) *Report {
+	rep := &Report{}
+	for name, v := range ns {
+		rep.Results = append(rep.Results, Result{
+			Name: name, Pkg: "p3q", Iterations: 1, Metrics: map[string]float64{"ns/op": v},
+		})
+	}
+	return rep
+}
+
+func TestCompareFlagsTrackedRegression(t *testing.T) {
+	oldRep := mkReport(map[string]float64{
+		"BenchmarkLazyConvergence5k/workers=1-8": 100,
+		"BenchmarkEagerBurst5k/workers=1-8":      200,
+		"BenchmarkFig2Convergence-8":             300,
+	})
+	newRep := mkReport(map[string]float64{
+		"BenchmarkLazyConvergence5k/workers=1-4": 125, // +25%: regression (suffix stripped)
+		"BenchmarkEagerBurst5k/workers=1-4":      205, // +2.5%: within threshold
+		"BenchmarkFig2Convergence-4":             900, // +200% but untracked
+	})
+	var out strings.Builder
+	n := compareReports(oldRep, newRep, splitTracked(defaultTracked), 0.10, &out)
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "BenchmarkLazyConvergence5k/workers=1") ||
+		!strings.Contains(out.String(), "[REGRESSION]") {
+		t.Fatalf("regression not reported:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "[REGRESSION]") != 1 {
+		t.Fatalf("exactly one regression mark expected (the untracked +200%% bench must not be flagged):\n%s", out.String())
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	oldRep := mkReport(map[string]float64{
+		"BenchmarkLazyConvergence5k/workers=1-8": 100,
+		"BenchmarkGone-8":                        50,
+	})
+	newRep := mkReport(map[string]float64{
+		"BenchmarkLazyConvergence5k/workers=1-8": 80, // faster
+		"BenchmarkNew-8":                         10, // only in new: skipped
+	})
+	var out strings.Builder
+	if n := compareReports(oldRep, newRep, splitTracked(defaultTracked), 0.10, &out); n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "-20.0%") {
+		t.Fatalf("speedup not reported:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "BenchmarkNew") || strings.Contains(out.String(), "BenchmarkGone") {
+		t.Fatalf("benchmarks missing from one side should be skipped:\n%s", out.String())
+	}
+}
+
+func TestCompareEndToEnd(t *testing.T) {
+	// The full pipeline: parse text output into reports, write them as the
+	// CI artifact JSON, reload, compare.
+	oldRep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faster := strings.ReplaceAll(sample, "412345678 ns/op", "212345678 ns/op")
+	newRep, err := parse(strings.NewReader(faster))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if n := compareReports(oldRep, newRep, splitTracked(defaultTracked), 0.10, &out); n != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "[tracked]") {
+		t.Fatalf("tracked benchmarks not marked:\n%s", out.String())
+	}
+}

@@ -34,7 +34,7 @@ func main() {
 		queries   = flag.Int("queries", 0, "queries per scenario (0 = default)")
 		cycles    = flag.Int("cycles", 0, "base cycle budget (0 = default)")
 		meanItems = flag.Float64("mean-items", 0, "mean items per user in the trace (0 = default)")
-		workers   = flag.Int("workers", 0, "planning workers for both lazy and eager cycles (0 = all cores; output is identical for every value)")
+		workers   = flag.Int("workers", 0, "planning workers and commit shards for both lazy and eager cycles (0 = all cores; output is identical for every value)")
 		seed      = flag.Uint64("seed", 0, "random seed (0 = default)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outDir    = flag.String("out", "", "also write one CSV file per table into this directory")

@@ -68,15 +68,20 @@ type Config struct {
 	// the bias on.
 	DisableEagerBias bool
 	// Workers is the number of goroutines the engine uses for the parallel
-	// planning phases of both modes: lazy cycles (partner selection,
-	// Bloom-digest filtering, common-item scoring, random-view evaluation)
-	// and eager cycles (destination selection, remaining-list resolution,
-	// partial-list computation, the α-split and the piggybacked maintenance
-	// exchange, planned per (initiator, query) gossip). 0 (the default)
-	// means runtime.GOMAXPROCS(0); 1 forces fully sequential execution. The
-	// commit phase is sequential in the engine's canonical order regardless,
-	// so every value of Workers produces byte-for-byte identical personal
-	// networks, query results and traffic counters.
+	// phases of both modes. It sizes the planning pool — lazy cycles plan
+	// partner selection, Bloom-digest filtering, common-item scoring and
+	// random-view evaluation per online node; eager cycles plan destination
+	// selection, remaining-list resolution, partial-list computation, the
+	// α-split and the piggybacked maintenance exchange per (initiator,
+	// query) gossip — and the commit phase's shard count: the population is
+	// partitioned into Workers contiguous node index ranges, and one
+	// committer per shard applies exactly its own nodes' intents in the
+	// engine's canonical (cycle, pair, role) order. 0 (the default) means
+	// runtime.GOMAXPROCS(0); 1 forces fully sequential execution. Shards
+	// never share a node and per-shard traffic ledgers are merged in
+	// canonical shard order, so every value of Workers produces
+	// byte-for-byte identical personal networks, query results and traffic
+	// counters.
 	Workers int
 	// StaticNetworks freezes personal-network membership: gossip still
 	// refreshes the digests, scores and stored replicas of existing

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"p3q/internal/gossip"
 	"p3q/internal/randx"
@@ -18,12 +19,21 @@ import (
 //
 // Engines are deterministic: identical dataset, configuration and seed
 // reproduce identical cycles, byte counts and query results — independently
-// of Config.Workers. Both modes run on a plan/commit design: a worker pool
-// of Config.Workers goroutines plans the cycle's exchanges concurrently
-// against the cycle-start state (per online node in lazy cycles, see
-// lazy.go; per (initiator, query) gossip in eager cycles, see eager.go),
-// and a single goroutine commits the resulting intents in the canonical
-// order. The worker pool is internal; the engine's methods themselves must
+// of Config.Workers. Both modes run on a plan/commit design, and both
+// phases are parallel:
+//
+//   - plan: a worker pool of Config.Workers goroutines plans the cycle's
+//     exchanges concurrently against the cycle-start state (per online node
+//     in lazy cycles, see lazy.go; per (initiator, query) gossip in eager
+//     cycles, see eager.go).
+//   - commit: the population is partitioned into Config.Workers contiguous
+//     node index shards, and one committer per shard applies only its own
+//     nodes' intents, walking every plan in the canonical order (see
+//     commitSharded). Shards never share a node, and commit-time traffic is
+//     recorded in per-shard ledgers merged canonically afterwards, so every
+//     worker count produces byte-for-byte identical output.
+//
+// The worker pools are internal; the engine's methods themselves must
 // still be called from one goroutine at a time.
 type Engine struct {
 	cfg   Config
@@ -51,6 +61,12 @@ type Engine struct {
 	// cost if full profiles were shipped instead of running the 3-step
 	// digest/common-items/delta protocol of Algorithm 1 (ablation ledger).
 	naiveExchangeBytes uint64
+
+	// planDur and commitDur accumulate the wall-clock time spent in the
+	// parallel planning phases and in the sharded commit phases (including
+	// the canonical ledger merge and the eager querier-side finalize), for
+	// PhaseDurations.
+	planDur, commitDur time.Duration
 }
 
 // New builds an engine over the dataset. Nodes start with empty personal
@@ -166,15 +182,17 @@ func (e *Engine) Bootstrap() {
 //
 // Each layer runs as a plan/commit round: Config.Workers goroutines plan
 // every online node's exchange against the cycle-start state, then the
-// intents are committed sequentially in the cycle's canonical permutation
-// order. The output is byte-for-byte identical for every worker count.
+// same number of shard committers apply the intents — each to its own
+// contiguous range of nodes, in the cycle's canonical permutation order.
+// The output is byte-for-byte identical for every worker count.
 func (e *Engine) LazyCycle() {
 	order := e.rng.Perm(len(e.nodes))
 	seq := e.cycleSeq
 	e.cycleSeq++
 
-	// Normalize per-node caches (own digests, evaluated memos, personal
-	// network rankings) so the planners below only hit read-only paths.
+	start := time.Now()
+	// Normalize per-node caches (own digests, evaluated memos, memoized
+	// gossip-age orderings) so the planners below only hit read-only paths.
 	// Each unit of work touches one node's state exclusively, so this
 	// pre-pass parallelizes too.
 	e.forEachNode(func(n *Node) {
@@ -190,26 +208,107 @@ func (e *Engine) LazyCycle() {
 			vplans[n.id] = e.planView(n, seq)
 		}
 	})
-	for _, i := range order {
-		if e.net.Online(e.nodes[i].id) {
-			e.commitView(e.nodes[i], vplans[i])
+	e.planDur += time.Since(start)
+	start = time.Now()
+	e.commitSharded(func(sh *commitShard) {
+		for _, i := range order {
+			if e.net.Online(e.nodes[i].id) {
+				e.commitViewShard(e.nodes[i], vplans[i], sh)
+			}
 		}
-	}
+	})
+	e.commitDur += time.Since(start)
 
 	// Round 2: top-layer personal network gossip plus random-view
 	// evaluation, planned against the round-1-committed views.
+	start = time.Now()
 	tplans := make([]*topPlan, len(e.nodes))
 	e.forEachNode(func(n *Node) {
 		if e.net.Online(n.id) {
 			tplans[n.id] = e.planTop(n, seq)
 		}
 	})
-	for _, i := range order {
-		if e.net.Online(e.nodes[i].id) {
-			e.commitTop(e.nodes[i], tplans[i])
+	e.planDur += time.Since(start)
+	start = time.Now()
+	e.commitSharded(func(sh *commitShard) {
+		for _, i := range order {
+			if e.net.Online(e.nodes[i].id) {
+				e.commitTopShard(e.nodes[i], tplans[i], sh)
+			}
 		}
-	}
+	})
+	e.commitDur += time.Since(start)
 	e.lazyCycles++
+}
+
+// commitShard is one committer of the sharded commit phase. It owns the
+// contiguous node index range [lo, hi) — the ROADMAP's locality-aware
+// grouping: each committer touches one dense slice of the population — and
+// applies only the intents targeting its own nodes, recording commit-time
+// traffic in its private ledger and the 3-step ablation side ledger in
+// naive.
+type commitShard struct {
+	lo, hi tagging.UserID
+	ledger *sim.Ledger
+	naive  uint64
+}
+
+// owns reports whether the node belongs to this shard.
+func (sh *commitShard) owns(id tagging.UserID) bool { return id >= sh.lo && id < sh.hi }
+
+// commitSharded runs one commit phase: apply is called once per shard —
+// concurrently when Workers > 1 — and must walk the cycle's plans in the
+// canonical order, applying only the effects owned by the given shard.
+// Because shards never share a node and every cross-node input (profiles,
+// normalized digests, liveness) is frozen during the phase, each node's
+// state receives exactly the same intents in exactly the same order for
+// every worker count. Afterwards the per-shard ledgers and side counters
+// are folded into the network in ascending shard order; the fold is a sum
+// of per-record counters, so the canonical order makes it independent of
+// how the records were distributed across shards.
+func (e *Engine) commitSharded(apply func(sh *commitShard)) {
+	n := len(e.nodes)
+	workers := e.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	size := (n + workers - 1) / workers
+	shards := make([]commitShard, workers)
+	for i := range shards {
+		lo := min(i*size, n)
+		hi := min(lo+size, n)
+		shards[i] = commitShard{lo: tagging.UserID(lo), hi: tagging.UserID(hi), ledger: e.net.NewLedger()}
+	}
+	if workers == 1 {
+		apply(&shards[0])
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := range shards {
+			go func(sh *commitShard) {
+				defer wg.Done()
+				apply(sh)
+			}(&shards[i])
+		}
+		wg.Wait()
+	}
+	for i := range shards {
+		e.net.Commit(shards[i].ledger)
+		e.naiveExchangeBytes += shards[i].naive
+	}
+}
+
+// PhaseDurations returns the cumulative wall-clock time the engine has
+// spent in the parallel planning phases and in the sharded commit phases
+// (the commit figure includes the canonical ledger merge and the eager
+// querier-side finalize). Benchmarks report the two separately to track
+// how far the commit phase — the historical Amdahl limit of both cycle
+// kinds — has been pushed.
+func (e *Engine) PhaseDurations() (plan, commit time.Duration) {
+	return e.planDur, e.commitDur
 }
 
 // planChunk is the number of nodes a worker claims per scheduling step:

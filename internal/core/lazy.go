@@ -14,7 +14,8 @@ import (
 // Algorithm 1 that discovers and maintains personal networks.
 //
 // Both layers run in a plan/commit design so a lazy cycle can use every
-// core while staying byte-for-byte deterministic:
+// core — in both halves of the cycle — while staying byte-for-byte
+// deterministic:
 //
 //   - plan: a worker pool runs the read-heavy phase for every online node
 //     concurrently — partner selection, Bloom-digest filtering, common-item
@@ -23,15 +24,27 @@ import (
 //     the cycle-start state and draw randomness from per-(cycle, node)
 //     split streams, so each plan is a pure function of the cycle-start
 //     state regardless of goroutine scheduling.
-//   - commit: a single goroutine applies the intents in the engine's
-//     canonical permutation order — view merges, personal-network upserts,
-//     profile storage (step 3, which depends on the committed network) and
-//     traffic accounting.
+//   - commit: the population is partitioned into Workers contiguous node
+//     index shards, and one committer per shard walks every plan in the
+//     engine's canonical permutation order, applying only the effects that
+//     target its own nodes (commitShard in engine.go). A pair's effects
+//     decompose into per-node intents — the initiator's view merge,
+//     timestamp resets, own-side integration, gossip touch and random-view
+//     contacts; the partner's view merge, peer-side integration and
+//     timestamp reset — and every effect mutates only its target node
+//     (cross-node inputs — profiles, normalized digests, liveness — are
+//     frozen during the commit phase), so shards never contend. Commit-time
+//     traffic (step-2/step-3 messages, which depend on the committed
+//     network) is recorded in per-shard ledgers that are merged into the
+//     network in canonical shard order after the parallel phase. Each
+//     node's intents land in the same canonical (cycle, pair, role) order
+//     for every worker count, so the output stays byte-for-byte identical.
 //
 // The eager mode runs on the same primitives: EagerCycle (eager.go) plans
 // every (initiator, query) gossip concurrently — including the piggybacked
 // top-layer maintenance exchange, planned through planTopExchange below —
-// and commits the intents in the canonical pair order.
+// and commits through the same sharded committers in the canonical pair
+// order.
 
 // Randomness purposes of the planning phases. Each planner derives its
 // streams by splitting node sources with a label that encodes the cycle
@@ -95,29 +108,39 @@ func (e *Engine) planView(a *Node, seq uint64) *viewPlan {
 	return p
 }
 
-// commitView applies one planned bottom-layer exchange.
-func (e *Engine) commitView(a *Node, p *viewPlan) {
+// commitViewShard applies the shard-owned effects of one planned
+// bottom-layer exchange: the plan ledger and the initiator-side view merge
+// (or dead-partner removal) belong to a's shard, the partner-side merge to
+// the partner's shard.
+func (e *Engine) commitViewShard(a *Node, p *viewPlan, sh *commitShard) {
 	if p == nil {
 		return
 	}
-	e.net.Commit(p.ledger)
+	if sh.owns(a.id) {
+		sh.ledger.Merge(p.ledger)
+	}
 	if p.dead {
-		a.view.Remove(p.partner)
+		if sh.owns(a.id) {
+			a.view.Remove(p.partner)
+		}
 		return
 	}
-	b := e.nodes[p.partner]
-	a.view.Merge(p.bufB, p.rngA)
-	b.view.Merge(p.bufA, p.rngB)
+	if sh.owns(a.id) {
+		a.view.Merge(p.bufB, p.rngA)
+	}
+	if sh.owns(p.partner) {
+		e.nodes[p.partner].view.Merge(p.bufA, p.rngB)
+	}
 }
 
 // requestBytes is the size charged for a bare "send me X" request message.
 const requestBytes = 8
 
-// sortEntriesByAge stable-sorts entries by decreasing timestamp, preserving
-// the incoming order among ties.
+// sortEntriesByAge stable-sorts entries by decreasing gossip age,
+// preserving the incoming order among ties.
 func sortEntriesByAge(entries []*Entry) {
 	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].Timestamp > entries[j].Timestamp
+		return entries[i].Age() > entries[j].Age()
 	})
 }
 
@@ -239,30 +262,40 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 	return p
 }
 
-// commitTop applies one planned top-layer gossip in the canonical order:
-// probe ledger, probe timestamp resets, the partner exchange, the gossip
-// timestamps, and the random-view contacts.
-func (e *Engine) commitTop(a *Node, p *topPlan) {
+// commitTopShard applies the shard-owned effects of one planned top-layer
+// gossip in the canonical role order: probe ledger and timestamp resets
+// (initiator), the partner exchange (split across both shards), the gossip
+// timestamps, and the random-view contacts (initiator).
+func (e *Engine) commitTopShard(a *Node, p *topPlan, sh *commitShard) {
 	if p == nil {
 		return
 	}
-	e.net.Commit(p.ledger)
-	for _, id := range p.resets {
-		a.pnet.ResetTimestamp(id)
+	ownA := sh.owns(a.id)
+	if ownA {
+		sh.ledger.Merge(p.ledger)
+		for _, id := range p.resets {
+			a.pnet.ResetTimestamp(id)
+		}
 	}
 	if p.ok {
 		b := e.nodes[p.partner]
-		e.commitTopExchange(a, b, p.exch)
-		a.pnet.Touch(p.partner)
-		b.pnet.ResetTimestamp(a.id)
-	}
-	for _, c := range p.rv {
-		if c.evalOnly {
-			a.checkEvalCache()
-			a.evaluated[c.owner] = c.version
-			continue
+		e.commitTopExchangeShard(a, b, p.exch, sh)
+		if ownA {
+			a.pnet.Touch(p.partner)
 		}
-		a.commitIntegration(c.intent)
+		if sh.owns(b.id) {
+			b.pnet.ResetTimestamp(a.id)
+		}
+	}
+	if ownA {
+		for _, c := range p.rv {
+			if c.evalOnly {
+				a.checkEvalCache()
+				a.evaluated[c.owner] = c.version
+				continue
+			}
+			a.commitIntegration(c.intent, sh.ledger)
+		}
 	}
 }
 
@@ -297,13 +330,29 @@ func (e *Engine) planTopExchange(a, b *Node, rngA, rngB *randx.Source, seen map[
 	return p
 }
 
-// commitTopExchange applies a planned exchange: the step-1 ledger, the
-// ablation side ledger, and both sides' integrations (steps 2-3).
-func (e *Engine) commitTopExchange(a, b *Node, p *exchangePlan) {
-	e.net.Commit(p.ledger)
-	e.naiveExchangeBytes += p.naive
-	b.commitIntegration(p.intPeer)
-	a.commitIntegration(p.intSelf)
+// commitTopExchangeShard applies the shard-owned effects of a planned
+// exchange: the step-1 ledger and the ablation side ledger (charged to a's
+// shard), b's integration of a's offers (b's shard) and a's integration of
+// b's offers (a's shard). It returns the commit-resolved step-2/step-3
+// traffic of each integration — each value is only meaningful in the shard
+// owning the respective node — so the eager finalize pass can attribute
+// piggybacked maintenance bytes per query.
+func (e *Engine) commitTopExchangeShard(a, b *Node, p *exchangePlan, sh *commitShard) (peerBytes, selfBytes uint64) {
+	if sh.owns(a.id) {
+		sh.ledger.Merge(p.ledger)
+		sh.naive += p.naive
+	}
+	if sh.owns(b.id) {
+		mark := sh.ledger.Len()
+		b.commitIntegration(p.intPeer, sh.ledger)
+		peerBytes = sh.ledger.BytesSince(mark)
+	}
+	if sh.owns(a.id) {
+		mark := sh.ledger.Len()
+		a.commitIntegration(p.intSelf, sh.ledger)
+		selfBytes = sh.ledger.BytesSince(mark)
+	}
+	return peerBytes, selfBytes
 }
 
 // naiveOffersBytes is the 3-step-ablation side ledger for one offer batch:
@@ -399,8 +448,12 @@ func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[ta
 // commitIntegration applies a planned integration: the evaluated-cache
 // updates and step-2 traffic, the personal-network upserts (top-s, positive
 // scores), and step 3 (lines 27-31) — fetch and store the full profiles of
-// neighbours entering the top-c.
-func (n *Node) commitIntegration(it *integration) {
+// neighbours entering the top-c. Messages are recorded in l (the committing
+// shard's ledger) rather than sent on the network directly, so shard
+// committers stay free of shared counters; only n's own state is mutated,
+// and the cross-node reads (owner profiles and digests) are frozen during
+// the commit phase.
+func (n *Node) commitIntegration(it *integration, l *sim.Ledger) {
 	if it == nil {
 		return
 	}
@@ -415,8 +468,8 @@ func (n *Node) commitIntegration(it *integration) {
 			n.evaluated[r.o.digest.Owner] = r.version
 		}
 	}
-	n.e.net.Send(n.id, it.provider, sim.MsgCommonItems, it.reqBytes)
-	n.e.net.Send(it.provider, n.id, sim.MsgCommonItems, it.respBytes)
+	l.Send(n.id, it.provider, sim.MsgCommonItems, it.reqBytes)
+	l.Send(it.provider, n.id, sim.MsgCommonItems, it.respBytes)
 
 	// Update the personal network: keep the s highest positive scores.
 	inBatch := make(map[tagging.UserID]intResult, len(it.results))
@@ -450,25 +503,27 @@ func (n *Node) commitIntegration(it *integration) {
 		}
 	}
 	if profBytes > 0 {
-		n.e.net.Send(it.provider, n.id, sim.MsgProfile, profBytes)
+		l.Send(it.provider, n.id, sim.MsgProfile, profBytes)
 	}
 	for _, entry := range directFetch {
-		n.fetchFromOwner(entry)
+		n.fetchFromOwner(entry, l)
 	}
 }
 
 // fetchFromOwner retrieves a neighbour's full fresh profile directly from
 // its owner (used for random-view candidates and for re-entering top-c
-// entries). It is a no-op if the owner has departed.
-func (n *Node) fetchFromOwner(entry *Entry) {
+// entries), recording the messages in l. It is a no-op if the owner has
+// departed. The owner's profile and normalized digest are read-only during
+// the commit phase, so this is safe from any shard committer.
+func (n *Node) fetchFromOwner(entry *Entry, l *sim.Ledger) {
 	if !n.e.net.Online(entry.ID) {
-		n.e.net.Send(n.id, entry.ID, sim.MsgProbe, 0) // records the probe
+		l.Send(n.id, entry.ID, sim.MsgProbe, 0) // records the probe
 		return
 	}
 	owner := n.e.nodes[entry.ID]
 	snap := owner.profile.Snapshot()
-	n.e.net.Send(n.id, entry.ID, sim.MsgCommonItems, requestBytes)
-	n.e.net.Send(entry.ID, n.id, sim.MsgProfile, tagging.ActionsWireSize(snap.Len()))
+	l.Send(n.id, entry.ID, sim.MsgCommonItems, requestBytes)
+	l.Send(entry.ID, n.id, sim.MsgProfile, tagging.ActionsWireSize(snap.Len()))
 	entry.Stored = snap
 	entry.Digest = owner.digest()
 }

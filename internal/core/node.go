@@ -46,7 +46,10 @@ func (n *Node) PersonalNetwork() *PersonalNetwork { return n.pnet }
 func (n *Node) View() *gossip.View { return n.view }
 
 // digest returns the current digest of the node's own profile, recomputing
-// it only when the profile changed.
+// it only when the profile changed. The engine's per-cycle pre-pass calls
+// it for every node, so during the parallel plan and commit phases — where
+// planners and shard committers of other nodes read it — it is a pure
+// read: profiles only change between cycles.
 func (n *Node) digest() *tagging.Digest {
 	if n.ownDigest == nil || n.ownDigest.Version != n.profile.Version() {
 		n.ownDigest = tagging.NewDigest(n.profile.Snapshot(), n.e.cfg.BloomBits, n.e.cfg.BloomHashes)

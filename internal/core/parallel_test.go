@@ -20,7 +20,7 @@ func engineFingerprint(e *Engine) string {
 		out += fmt.Sprintf("node %d online=%v\n", u, e.Network().Online(n.ID()))
 		for _, entry := range n.PersonalNetwork().Ranking() {
 			out += fmt.Sprintf("  pnet %d score=%d ts=%d dv=%d sv=%d\n",
-				entry.ID, entry.Score, entry.Timestamp, entry.Digest.Version, entry.Stored.Version())
+				entry.ID, entry.Score, entry.Age(), entry.Digest.Version, entry.Stored.Version())
 		}
 		for _, d := range n.View().Entries() {
 			out += fmt.Sprintf("  view %d v=%d\n", d.Node, d.Digest.Version)
@@ -107,15 +107,32 @@ func TestParallelDeterminism(t *testing.T) {
 	// A Workers: N engine and a Workers: 1 engine over the same dataset
 	// and seed must produce byte-for-byte identical personal networks,
 	// query results, reached-sets and sim.Network traffic counters after
-	// mixed lazy/eager/churn cycles — both modes now plan in parallel. Run
-	// this test under -race to also certify the planning phases data-race
-	// free (the CI workflow does).
+	// mixed lazy/eager/churn cycles — both modes plan AND commit in
+	// parallel. Run this test under -race to also certify both phases
+	// data-race free (the CI workflow does).
 	sequential := runMixedWorkload(t, 1)
 	for _, workers := range []int{2, 8} {
 		parallel := runMixedWorkload(t, workers)
 		if parallel != sequential {
 			t.Fatalf("Workers=%d diverged from Workers=1:\n%s", workers,
 				firstDiff(sequential, parallel))
+		}
+	}
+}
+
+func TestShardCountIndependence(t *testing.T) {
+	// Workers also sets the number of commit shards: the 120-node mixed
+	// workload partitions into 1, 2 and 7 contiguous ranges here — 7 does
+	// not divide 120, so the last shard is short, and pairs routinely span
+	// two shards. The fingerprints must still match byte-for-byte: shards
+	// never share a node and each node receives its intents in the
+	// canonical (cycle, pair, role) order regardless of the partition.
+	want := runMixedWorkload(t, 1)
+	for _, workers := range []int{2, 7} {
+		got := runMixedWorkload(t, workers)
+		if got != want {
+			t.Fatalf("Workers=%d sharded commit diverged from Workers=1:\n%s",
+				workers, firstDiff(want, got))
 		}
 	}
 }

@@ -15,15 +15,23 @@ type Entry struct {
 	Score int
 	// Digest is the latest known digest of the neighbour's profile.
 	Digest *tagging.Digest
-	// Timestamp counts for how many cycles the neighbour has not been
-	// gossiped with (0 = just gossiped or just added).
-	Timestamp int
 	// Stored is the locally stored snapshot of the neighbour's profile; the
 	// zero Snapshot (invalid) when the neighbour is outside the top-c.
 	Stored tagging.Snapshot
-	// rank caches the entry's position after the last rebalance.
-	rank int
+
+	// pn is the owning network; Age derives the gossip timestamp from its
+	// logical clock.
+	pn *PersonalNetwork
+	// last is the owning network's clock value when the neighbour was last
+	// gossiped with (or added).
+	last uint64
 }
+
+// Age returns for how many gossips the neighbour has not been gossiped with
+// (0 = just gossiped or just added): the §2.2.1 timestamp, derived as
+// clock - last from the owning network's logical clock so that Touch never
+// has to walk every neighbour.
+func (e *Entry) Age() int { return int(e.pn.clock - e.last) }
 
 // StoredFresh reports whether the stored snapshot is at least as recent as
 // the latest known digest.
@@ -31,14 +39,37 @@ func (e *Entry) StoredFresh() bool {
 	return e.Stored.Valid() && e.Stored.Version() >= e.Digest.Version
 }
 
+// rankBefore is the ranking order of §2.1: descending score, ties broken by
+// ascending ID.
+func rankBefore(aScore int, aID tagging.UserID, bScore int, bID tagging.UserID) bool {
+	if aScore != bScore {
+		return aScore > bScore
+	}
+	return aID < bID
+}
+
 // PersonalNetwork is the top-layer state of one node: up to s scored
 // neighbours ranked by similarity, with snapshots stored for the top c.
+//
+// The ranking is maintained incrementally: it is kept sorted at all times
+// (rank-ordered insertion, O(log s) search plus a small pointer move per
+// Upsert), so the read paths (Ranking, Members, Unstored, StoredEntries)
+// and Rebalance never re-sort. Gossip ages run off a per-network logical
+// clock (clock advances once per Touch; an entry's age is clock - last), so
+// Touch is O(1) instead of an increment-every-neighbour walk, and the
+// age ordering consumed by PartnersByAge is memoized until a touch or a
+// membership change invalidates it.
 type PersonalNetwork struct {
 	self    tagging.UserID
 	s, c    int
 	entries map[tagging.UserID]*Entry
-	ranking []*Entry // descending score, ascending ID; valid when !dirty
-	dirty   bool
+	ranking []*Entry // always sorted: descending score, ascending ID
+	// clock counts Touch calls; entries age implicitly as it advances.
+	clock uint64
+	// byAge memoizes the PartnersByAge ordering (ascending last, ascending
+	// ID); nil when stale. Pure aging (clock advancing) preserves the
+	// ordering, so only touches and membership changes invalidate it.
+	byAge []*Entry
 }
 
 // NewPersonalNetwork returns an empty personal network with the given
@@ -73,6 +104,30 @@ func (pn *PersonalNetwork) Contains(id tagging.UserID) bool {
 	return ok
 }
 
+// insert places e at its rank position. The ranking must not contain e.
+func (pn *PersonalNetwork) insert(e *Entry) {
+	i := sort.Search(len(pn.ranking), func(i int) bool {
+		o := pn.ranking[i]
+		return !rankBefore(o.Score, o.ID, e.Score, e.ID)
+	})
+	pn.ranking = append(pn.ranking, nil)
+	copy(pn.ranking[i+1:], pn.ranking[i:])
+	pn.ranking[i] = e
+}
+
+// remove drops e from the ranking, locating it by binary search on its
+// current (score, ID) key.
+func (pn *PersonalNetwork) remove(e *Entry) {
+	i := sort.Search(len(pn.ranking), func(i int) bool {
+		o := pn.ranking[i]
+		return !rankBefore(o.Score, o.ID, e.Score, e.ID)
+	})
+	// (score, ID) keys are unique, so i is exactly e's position.
+	copy(pn.ranking[i:], pn.ranking[i+1:])
+	pn.ranking[len(pn.ranking)-1] = nil
+	pn.ranking = pn.ranking[:len(pn.ranking)-1]
+}
+
 // Upsert adds the neighbour or updates its score and digest, and returns
 // the entry. New entries start with timestamp 0, per §2.2.1. Scores must be
 // positive; Upsert panics otherwise (callers filter).
@@ -83,63 +138,47 @@ func (pn *PersonalNetwork) Upsert(id tagging.UserID, score int, digest *tagging.
 	if id == pn.self {
 		panic("core: Upsert of self")
 	}
-	e := pn.entries[id]
-	if e == nil {
-		e = &Entry{ID: id, Score: score, Digest: digest}
-		pn.entries[id] = e
-	} else {
-		e.Score = score
+	if e := pn.entries[id]; e != nil {
+		if e.Score != score {
+			// Reposition: remove under the old key, reinsert under the new.
+			// The age ordering is untouched — scores do not enter it.
+			pn.remove(e)
+			e.Score = score
+			pn.insert(e)
+		}
 		e.Digest = digest
+		return e
 	}
-	pn.dirty = true
+	e := &Entry{ID: id, Score: score, Digest: digest, pn: pn, last: pn.clock}
+	pn.entries[id] = e
+	pn.insert(e)
+	pn.byAge = nil
 	return e
 }
 
-// Prepare rebuilds the cached ranking if it is stale. The engine calls it
-// for every node before a parallel planning phase so that the read paths
-// (Ranking, StoredEntries, PartnersByAge) are free of lazy rebuilds and
-// therefore safe to call from concurrent planners.
-func (pn *PersonalNetwork) Prepare() { pn.rebuild() }
+// Prepare pre-builds the memoized age ordering if it is stale. The engine
+// calls it for every node before a lazy planning phase so that PartnersByAge
+// is free of lazy rebuilds and therefore safe to call from concurrent
+// planners. The ranking itself needs no preparation: it is maintained
+// sorted on every Upsert.
+func (pn *PersonalNetwork) Prepare() { pn.orderedByAge() }
 
 // Ranking returns the neighbours ordered by descending score (ties:
 // ascending ID). The slice aliases internal state; do not modify.
-func (pn *PersonalNetwork) Ranking() []*Entry {
-	pn.rebuild()
-	return pn.ranking
-}
-
-func (pn *PersonalNetwork) rebuild() {
-	if !pn.dirty {
-		return
-	}
-	pn.ranking = pn.ranking[:0]
-	for _, e := range pn.entries {
-		pn.ranking = append(pn.ranking, e)
-	}
-	sort.Slice(pn.ranking, func(i, j int) bool {
-		a, b := pn.ranking[i], pn.ranking[j]
-		if a.Score != b.Score {
-			return a.Score > b.Score
-		}
-		return a.ID < b.ID
-	})
-	for i, e := range pn.ranking {
-		e.rank = i
-	}
-	pn.dirty = false
-}
+func (pn *PersonalNetwork) Ranking() []*Entry { return pn.ranking }
 
 // Rebalance enforces the capacity rules after a batch of Upserts: only the
 // s best neighbours are kept, and only the c best keep stored profiles. It
 // returns the entries now inside the top-c whose stored snapshot is missing
-// or stale — the caller must fetch those (step 3 of Algorithm 1).
+// or stale — the caller must fetch those (step 3 of Algorithm 1). The
+// ranking is already sorted, so eviction is a truncation of the tail.
 func (pn *PersonalNetwork) Rebalance() (needStore []*Entry) {
-	pn.rebuild()
-	// Evict beyond s.
 	for len(pn.ranking) > pn.s {
 		last := pn.ranking[len(pn.ranking)-1]
 		delete(pn.entries, last.ID)
+		pn.ranking[len(pn.ranking)-1] = nil
 		pn.ranking = pn.ranking[:len(pn.ranking)-1]
+		pn.byAge = nil
 	}
 	for i, e := range pn.ranking {
 		if i < pn.c {
@@ -157,7 +196,6 @@ func (pn *PersonalNetwork) Rebalance() (needStore []*Entry) {
 
 // Members returns the neighbour IDs in rank order.
 func (pn *PersonalNetwork) Members() []tagging.UserID {
-	pn.rebuild()
 	out := make([]tagging.UserID, len(pn.ranking))
 	for i, e := range pn.ranking {
 		out[i] = e.ID
@@ -168,7 +206,6 @@ func (pn *PersonalNetwork) Members() []tagging.UserID {
 // StoredEntries returns the entries currently holding a profile snapshot,
 // in rank order.
 func (pn *PersonalNetwork) StoredEntries() []*Entry {
-	pn.rebuild()
 	var out []*Entry
 	for _, e := range pn.ranking {
 		if e.Stored.Valid() {
@@ -181,7 +218,6 @@ func (pn *PersonalNetwork) StoredEntries() []*Entry {
 // Unstored returns the neighbour IDs whose profiles are not locally stored,
 // in rank order. This is the initial remaining list of a query (§2.2.2).
 func (pn *PersonalNetwork) Unstored() []tagging.UserID {
-	pn.rebuild()
 	var out []tagging.UserID
 	for _, e := range pn.ranking {
 		if !e.Stored.Valid() {
@@ -191,41 +227,50 @@ func (pn *PersonalNetwork) Unstored() []tagging.UserID {
 	return out
 }
 
-// PartnersByAge returns the neighbours ordered by decreasing timestamp
-// (oldest gossip first; ties: ascending ID) — the lazy-mode partner
-// preference of §2.2.1.
+// orderedByAge returns the memoized age ordering, rebuilding it if stale.
+func (pn *PersonalNetwork) orderedByAge() []*Entry {
+	if pn.byAge == nil {
+		pn.byAge = make([]*Entry, len(pn.ranking))
+		copy(pn.byAge, pn.ranking)
+		sort.Slice(pn.byAge, func(i, j int) bool {
+			a, b := pn.byAge[i], pn.byAge[j]
+			if a.last != b.last {
+				return a.last < b.last
+			}
+			return a.ID < b.ID
+		})
+	}
+	return pn.byAge
+}
+
+// PartnersByAge returns the neighbours ordered by decreasing age (oldest
+// gossip first; ties: ascending ID) — the lazy-mode partner preference of
+// §2.2.1. The ordering is memoized between touches and membership changes;
+// the returned slice is a fresh copy the caller may reorder freely.
 func (pn *PersonalNetwork) PartnersByAge() []*Entry {
-	pn.rebuild()
-	out := make([]*Entry, len(pn.ranking))
-	copy(out, pn.ranking)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Timestamp != out[j].Timestamp {
-			return out[i].Timestamp > out[j].Timestamp
-		}
-		return out[i].ID < out[j].ID
-	})
+	ordered := pn.orderedByAge()
+	out := make([]*Entry, len(ordered))
+	copy(out, ordered)
 	return out
 }
 
-// Touch records a gossip with the given partner: its timestamp resets to 0
-// and every other neighbour's timestamp increments by 1 (§2.2.1). It walks
-// the rebuilt ranking rather than the entries map: same set, but linear
-// memory instead of a map iteration on the engine's sequential commit path.
+// Touch records a gossip with the given partner: its age resets to 0 and
+// every other neighbour ages by 1 (§2.2.1). The aging is implicit — the
+// logical clock advances and ages are derived as clock - last — so Touch is
+// O(1) instead of walking every neighbour.
 func (pn *PersonalNetwork) Touch(partner tagging.UserID) {
-	pn.rebuild()
-	for _, e := range pn.ranking {
-		if e.ID == partner {
-			e.Timestamp = 0
-		} else {
-			e.Timestamp++
-		}
+	pn.clock++
+	if e := pn.entries[partner]; e != nil {
+		e.last = pn.clock
+		pn.byAge = nil
 	}
 }
 
-// ResetTimestamp zeroes the partner's timestamp without aging the others;
-// used on the receiving side of a gossip.
+// ResetTimestamp zeroes the partner's age without aging the others; used on
+// the receiving side of a gossip.
 func (pn *PersonalNetwork) ResetTimestamp(partner tagging.UserID) {
-	if e := pn.entries[partner]; e != nil {
-		e.Timestamp = 0
+	if e := pn.entries[partner]; e != nil && e.last != pn.clock {
+		e.last = pn.clock
+		pn.byAge = nil
 	}
 }

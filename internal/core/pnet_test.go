@@ -150,16 +150,16 @@ func TestPnetTouchAging(t *testing.T) {
 	pn.Upsert(2, 5, mkDigest(2, 1))
 	pn.Upsert(3, 5, mkDigest(3, 1))
 	pn.Touch(1)
-	if pn.Entry(1).Timestamp != 0 {
-		t.Fatal("touched partner timestamp != 0")
+	if pn.Entry(1).Age() != 0 {
+		t.Fatal("touched partner age != 0")
 	}
-	if pn.Entry(2).Timestamp != 1 || pn.Entry(3).Timestamp != 1 {
+	if pn.Entry(2).Age() != 1 || pn.Entry(3).Age() != 1 {
 		t.Fatal("other entries did not age by 1")
 	}
 	pn.Touch(2)
 	oldest := pn.PartnersByAge()[0]
 	if oldest.ID != 3 {
-		t.Fatalf("oldest partner = %d, want 3 (timestamp 2)", oldest.ID)
+		t.Fatalf("oldest partner = %d, want 3 (age 2)", oldest.ID)
 	}
 }
 
@@ -169,10 +169,10 @@ func TestPnetResetTimestamp(t *testing.T) {
 	pn.Upsert(2, 5, mkDigest(2, 1))
 	pn.Touch(1) // ages 2
 	pn.ResetTimestamp(2)
-	if pn.Entry(2).Timestamp != 0 {
+	if pn.Entry(2).Age() != 0 {
 		t.Fatal("ResetTimestamp did not zero the entry")
 	}
-	if pn.Entry(1).Timestamp != 0 {
+	if pn.Entry(1).Age() != 0 {
 		t.Fatal("ResetTimestamp aged another entry")
 	}
 	pn.ResetTimestamp(99) // absent: no-op

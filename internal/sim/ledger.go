@@ -1,12 +1,15 @@
 package sim
 
 // Ledger is a thread-confined message recorder for the engine's parallel
-// planning phases (both the lazy mode's per-node plans and the eager
-// mode's per-(initiator, query) plans). Each planning goroutine owns its
-// Ledgers and records the messages its unit of work would send; no shared
-// counter is touched until the engine's sequential commit phase calls
-// Network.Commit, which merges the recorded traffic into the network's
-// per-kind and per-node counters.
+// phases — the planning goroutines (both the lazy mode's per-node plans
+// and the eager mode's per-(initiator, query) plans) and the sharded
+// commit phase, where each shard committer owns one Ledger and records the
+// commit-time traffic of its own nodes. No shared counter is touched until
+// the engine merges the cycle's ledgers in canonical shard order through
+// Network.Commit, which folds the recorded traffic into the network's
+// per-kind and per-node counters; the fold is a sum per record, so the
+// canonical merge order makes the counters independent of how records were
+// distributed across ledgers.
 //
 // A Ledger reads the network's liveness (stable within a cycle: Kill and
 // SetOnline only run between cycles) but never writes to it, so any number
@@ -53,9 +56,23 @@ func (l *Ledger) Len() int { return len(l.records) }
 // the ledger; do not modify.
 func (l *Ledger) Records() []Record { return l.records }
 
-// Merge appends the other ledger's records to this one.
+// Merge appends the other ledger's records to this one. The other ledger
+// is left untouched, so a plan's ledger can still be totalled after a
+// shard committer has absorbed it.
 func (l *Ledger) Merge(o *Ledger) {
 	l.records = append(l.records, o.records...)
+}
+
+// BytesSince returns the total bytes of the records appended after the
+// given mark (a prior Len result). The sharded commit phase brackets an
+// integration with Len/BytesSince to attribute the commit-resolved
+// step-2/step-3 traffic to the gossip pair that caused it.
+func (l *Ledger) BytesSince(mark int) uint64 {
+	var b uint64
+	for _, r := range l.records[mark:] {
+		b += uint64(r.Bytes)
+	}
+	return b
 }
 
 // Total returns the per-kind traffic the ledger has recorded so far, i.e.

@@ -65,6 +65,37 @@ func TestLedgerMerge(t *testing.T) {
 	}
 }
 
+func TestLedgerMergeLeavesSourceIntact(t *testing.T) {
+	// The sharded commit totals a plan's ledger after a shard committer has
+	// absorbed it, so Merge must not drain the source.
+	nw := NewNetwork(2)
+	a, b := nw.NewLedger(), nw.NewLedger()
+	b.Send(1, 0, MsgProfile, 20)
+	a.Merge(b)
+	if b.Len() != 1 || b.Total().TotalBytes() != 20 {
+		t.Fatalf("Merge drained the source ledger: len=%d bytes=%d", b.Len(), b.Total().TotalBytes())
+	}
+}
+
+func TestLedgerBytesSince(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.SetOnline(2, false)
+	l := nw.NewLedger()
+	l.Send(0, 1, MsgTopDigest, 10)
+	mark := l.Len()
+	if got := l.BytesSince(mark); got != 0 {
+		t.Fatalf("BytesSince at the mark = %d, want 0", got)
+	}
+	l.Send(0, 1, MsgCommonItems, 7)
+	l.Send(0, 2, MsgProfile, 1000) // degrades to a probe: ProbeBytes counted
+	if got, want := l.BytesSince(mark), uint64(7+ProbeBytes); got != want {
+		t.Fatalf("BytesSince = %d, want %d", got, want)
+	}
+	if got := l.BytesSince(0); got != uint64(17+ProbeBytes) {
+		t.Fatalf("BytesSince(0) = %d, want full total %d", got, 17+ProbeBytes)
+	}
+}
+
 func TestLedgerOfflineSenderPanics(t *testing.T) {
 	nw := NewNetwork(2)
 	nw.SetOnline(0, false)

@@ -27,12 +27,16 @@
 //	    fmt.Println(run.Results()) // refined every cycle
 //	}
 //
-// Both modes run multicore: a lazy cycle plans every node's exchanges and
-// an eager cycle plans every (initiator, query) gossip concurrently on
-// Config.Workers goroutines, then commits the results sequentially in a
-// canonical order. Runs are byte-for-byte deterministic — identical
-// personal networks, query results, reached-sets and traffic counters —
-// for every worker count (and across repeated runs with the same seed).
+// Both modes run multicore in both halves of a cycle: a lazy cycle plans
+// every node's exchanges and an eager cycle plans every (initiator, query)
+// gossip concurrently on Config.Workers goroutines, then the same number
+// of shard committers apply the planned effects — the population is
+// partitioned into Workers contiguous node index shards, and each
+// committer applies exactly its own nodes' intents in a canonical order,
+// with per-shard traffic ledgers merged canonically afterwards. Runs are
+// byte-for-byte deterministic — identical personal networks, query
+// results, reached-sets and traffic counters — for every worker count
+// (and across repeated runs with the same seed).
 //
 // Queries survive querier churn: if the querier departs mid-query the run
 // stalls (QueryRun.State reports QueryStalled, and the engine stops
