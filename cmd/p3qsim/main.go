@@ -9,6 +9,8 @@
 //	p3qsim -exp list                 # list experiment ids
 //	p3qsim -exp fig2 -users 10000 -s 1000 -mean-items 249   # paper scale
 //	p3qsim -exp fig6 -csv            # machine-readable output
+//	p3qsim -exp latency              # async delivery: time-to-result distributions
+//	p3qsim -exp fig3 -latency lognormal:1s,0.8   # any experiment under a latency model
 //
 // Each experiment prints one table per paper artifact; EXPERIMENTS.md in
 // the repository root records paper-reported vs measured values.
@@ -23,6 +25,7 @@ import (
 
 	"p3q/internal/experiments"
 	"p3q/internal/metrics"
+	"p3q/internal/sim"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 		cycles    = flag.Int("cycles", 0, "base cycle budget (0 = default)")
 		meanItems = flag.Float64("mean-items", 0, "mean items per user in the trace (0 = default)")
 		workers   = flag.Int("workers", 0, "planning workers and commit shards for both lazy and eager cycles (0 = all cores; output is identical for every value)")
+		latency   = flag.String("latency", "", "per-message latency model for eager delivery: none (synchronous cycles, the default), fixed:<d>, uniform:<min>,<max>, lognormal:<median>,<sigma>, or geo:<zones>,<intra>,<inter> — e.g. fixed:50ms, uniform:10ms,200ms, lognormal:1s,0.8, geo:3,25ms,120ms; with a model set, partial results arrive mid-cycle and queries report time-to-first-result / time-to-full-recall (see the 'latency' experiment)")
 		seed      = flag.Uint64("seed", 0, "random seed (0 = default)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outDir    = flag.String("out", "", "also write one CSV file per table into this directory")
@@ -62,6 +66,14 @@ func main() {
 	}
 	if *workers > 0 {
 		cfg.Workers = *workers
+	}
+	if *latency != "" {
+		m, err := sim.ParseLatency(*latency)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p3qsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Latency = m
 	}
 	if *seed > 0 {
 		cfg.Seed = *seed

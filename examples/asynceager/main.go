@@ -1,0 +1,129 @@
+// Asynceager: event-driven asynchronous eager delivery. The paper
+// evaluates the eager mode in PeerSim-style synchronous rounds — every
+// partial result lands exactly at a cycle boundary. A deployed system has
+// per-message latency: results trickle in mid-cycle, queriers refine their
+// top-k the moment each list arrives, and slow messages can miss the next
+// gossip cycle entirely.
+//
+// This example runs the same query burst twice — synchronously and under a
+// heavy-tailed (log-normal) latency model — and compares when results
+// actually become visible: the time-to-first-result and time-to-full-recall
+// distributions on the engine's virtual clock (5 s per eager cycle, the
+// paper's §3.5 deployment assumption).
+//
+// Run with: go run ./examples/asynceager
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"p3q"
+)
+
+func main() {
+	params := p3q.DefaultTraceParams(300)
+	params.MeanItems = 25
+	params.Seed = 11
+	ds := p3q.GenerateTrace(params)
+
+	base := p3q.DefaultConfig()
+	base.S, base.C = 30, 6
+	nets := p3q.IdealNetworks(ds, base.S)
+	reference := p3q.NewCentralizedWithNets(ds, nets, base.K)
+
+	// A heavy-tailed Internet-like model: most messages take ~1 s one-way,
+	// the tail takes far longer than the 5 s eager period — those gossips
+	// miss the next cycle, the latency-vs-recall trade-off made visible.
+	model := p3q.LogNormalLatency{Median: time.Second, Sigma: 1.0}
+
+	fmt.Println("one querier, watched closely")
+	fmt.Println("----------------------------")
+	watchOne(ds, nets, reference, base, model)
+
+	fmt.Println()
+	fmt.Println("90 queries, arrival-time distributions (seconds of virtual time)")
+	fmt.Println("----------------------------------------------------------------")
+	fmt.Println("model       ttfr p50   ttfr p90   full p50   full p90   full p99")
+	burst(ds, nets, base, nil, "sync")
+	burst(ds, nets, base, model, "lognormal")
+	fmt.Println()
+	fmt.Println("synchronous rounds quantize every arrival to a 5 s boundary; under")
+	fmt.Println("the latency model most queries see their first result in ~2 s, while")
+	fmt.Println("the log-normal tail stretches full recall past the synchronous time.")
+}
+
+// watchOne follows a single query under the latency model, printing the
+// estimate as it sharpens between cycle boundaries.
+func watchOne(ds *p3q.Dataset, nets [][]p3q.Neighbour, reference *p3q.Centralized, cfg p3q.Config, model p3q.LatencyModel) {
+	cfg.Latency = model
+	engine := p3q.NewEngine(ds, cfg)
+	engine.SeedIdealNetworks(nets)
+
+	q, ok := p3q.QueryFor(ds, 17, 7)
+	if !ok {
+		panic("querier has an empty profile")
+	}
+	want := reference.TopK(q)
+	run := engine.IssueQuery(q)
+	fmt.Printf("t=%5.1fs  recall %.2f  (local processing, %d/%d profiles)\n",
+		engine.Now().Seconds(), p3q.Recall(run.Results(), want),
+		run.ProfilesUsed(), run.ProfilesNeeded())
+	for !run.Done() {
+		engine.EagerCycle()
+		fmt.Printf("t=%5.1fs  recall %.2f  (%d/%d profiles, %d msgs in flight)\n",
+			engine.Now().Seconds(), p3q.Recall(run.Results(), want),
+			run.ProfilesUsed(), run.ProfilesNeeded(), run.InFlight())
+	}
+	if ttfr, ok := run.TimeToFirstResult(); ok {
+		fmt.Printf("first partial result arrived %.2fs after issue\n", ttfr.Seconds())
+	}
+	if full, ok := run.TimeToFullRecall(); ok {
+		fmt.Printf("full recall reached %.2fs after issue (mid-cycle: not a multiple of 5s)\n", full.Seconds())
+	}
+}
+
+// burst issues the first 90 queries of the standard per-user workload and
+// prints arrival-time quantiles.
+func burst(ds *p3q.Dataset, nets [][]p3q.Neighbour, cfg p3q.Config, model p3q.LatencyModel, label string) {
+	cfg.Latency = model
+	engine := p3q.NewEngine(ds, cfg)
+	engine.SeedIdealNetworks(nets)
+
+	var runs []*p3q.QueryRun
+	for _, q := range p3q.GenerateQueries(ds, 13) {
+		if run := engine.IssueQuery(q); run != nil {
+			runs = append(runs, run)
+		}
+		if len(runs) == 90 {
+			break
+		}
+	}
+	for cycle := 0; cycle < 200 && !engine.AllQueriesDone(); cycle++ {
+		engine.EagerCycle()
+	}
+
+	var ttfr, full []float64
+	for _, run := range runs {
+		if d, ok := run.TimeToFirstResult(); ok {
+			ttfr = append(ttfr, d.Seconds())
+		}
+		if d, ok := run.TimeToFullRecall(); ok {
+			full = append(full, d.Seconds())
+		}
+	}
+	fmt.Printf("%-10s  %8.2f   %8.2f   %8.2f   %8.2f   %8.2f\n",
+		label, quantile(ttfr, 0.5), quantile(ttfr, 0.9),
+		quantile(full, 0.5), quantile(full, 0.9), quantile(full, 0.99))
+}
+
+// quantile returns the q-quantile of a copy of xs.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[int(q*float64(len(s)-1))]
+}

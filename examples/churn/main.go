@@ -4,6 +4,13 @@
 // example reports how recall degrades with the departure rate and how many
 // queries can no longer be answered perfectly.
 //
+// The engine handles the querier side of churn too: a query whose querier
+// departs stalls (state QueryStalled, counters frozen, no cycles burned)
+// and resumes to full recall when she revives — and under asynchronous
+// delivery (Config.Latency, see examples/asynceager) messages in flight
+// toward a departed node freeze and are redelivered on revival. Each
+// departure row runs multicore and is byte-for-byte reproducible.
+//
 // Run with: go run ./examples/churn
 package main
 

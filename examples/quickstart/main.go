@@ -3,6 +3,13 @@
 // mode refine its results cycle by cycle until they match the centralized
 // reference.
 //
+// Every cycle below plans and commits on all cores (Config.Workers), yet
+// the printed numbers are byte-for-byte identical for any worker count —
+// the engine's determinism contract (see ARCHITECTURE.md). Delivery here
+// is synchronous: results land exactly at cycle boundaries, the paper's
+// round model. The examples/asynceager walkthrough runs the same protocol
+// with per-message latency instead.
+//
 // Run with: go run ./examples/quickstart
 package main
 

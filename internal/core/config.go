@@ -25,8 +25,10 @@ package core
 
 import (
 	"runtime"
+	"time"
 
 	"p3q/internal/bloom"
+	"p3q/internal/sim"
 	"p3q/internal/tagging"
 )
 
@@ -83,6 +85,35 @@ type Config struct {
 	// byte-for-byte identical personal networks, query results and traffic
 	// counters.
 	Workers int
+	// Latency models the one-way delivery delay of every eager-mode query
+	// message (forwarded lists, returned portions, partial results). When
+	// nil (the default), delivery is synchronous: every effect of a cycle
+	// is visible at the cycle boundary, the paper's PeerSim-style round
+	// model, and the engine behaves exactly as before the event scheduler
+	// existed. When set, EagerCycle runs event-driven: each planned
+	// (initiator, query) gossip becomes timestamped delivery events whose
+	// arrival times are drawn from the model, queriers merge partial
+	// results the moment they arrive (Algorithm 4, incrementally,
+	// mid-cycle), branch hand-offs activate at arrival, and queries can
+	// settle between cycle boundaries. Messages arriving at a departed
+	// node freeze and are redelivered when it revives. Determinism is
+	// preserved: all latency randomness comes from per-event split streams
+	// drawn in canonical order, so output is byte-for-byte identical for
+	// every Workers value, and a zero-delay model reproduces the
+	// synchronous engine's protocol state exactly (in-progress top-k
+	// bounds of unfinished queries excepted: partial lists merge per
+	// arrival instead of per cycle batch). See sim.ParseLatency
+	// for the CLI spec syntax.
+	Latency sim.LatencyModel
+	// EagerPeriod is the virtual time one eager cycle occupies (the
+	// paper's deployment assumption in §3.5: 5 seconds). It paces the
+	// engine clock that latency-modelled deliveries are scheduled against
+	// and that the per-query time-to-first-result / time-to-full-recall
+	// metrics are measured on. 0 defaults to 5s.
+	EagerPeriod time.Duration
+	// LazyPeriod is the virtual time one lazy cycle occupies (§3.5: one
+	// minute). 0 defaults to 60s.
+	LazyPeriod time.Duration
 	// StaticNetworks freezes personal-network membership: gossip still
 	// refreshes the digests, scores and stored replicas of existing
 	// neighbours, but never admits new ones. This is the §4 explicit
@@ -151,6 +182,12 @@ func (c Config) sanitize(users int) Config {
 	}
 	if c.Workers < 1 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EagerPeriod <= 0 {
+		c.EagerPeriod = 5 * time.Second
+	}
+	if c.LazyPeriod <= 0 {
+		c.LazyPeriod = time.Minute
 	}
 	if c.CAssign != nil && len(c.CAssign) != users {
 		panic("core: CAssign length does not match the number of users")

@@ -57,6 +57,25 @@ type Engine struct {
 	queryOrder  []uint64
 	nextQueryID uint64
 
+	// now is the engine's virtual clock: EagerPeriod per eager cycle,
+	// LazyPeriod per lazy cycle, starting at zero. The event scheduler
+	// stamps deliveries against it and the per-query time metrics
+	// (time-to-first-result, time-to-full-recall) are measured on it.
+	now time.Duration
+	// events is the pending delivery queue of the asynchronous eager mode
+	// (Config.Latency != nil): timestamped message events popped in
+	// deterministic (time, scheduling order) between cycle boundaries.
+	events *sim.EventQueue
+	// frozen parks events that fired while their target node was departed,
+	// per target, in freeze order; they are redelivered (re-scheduled at
+	// the current clock) once the node is back online — the simulation's
+	// store-and-forward assumption for churn during delivery.
+	frozen map[tagging.UserID][]*eagerEvent
+	// latRng seeds the per-event latency streams: split per (cycle, pair,
+	// message) in the canonical scheduling order, so delay draws are
+	// independent of Workers.
+	latRng *randx.Source
+
 	// naiveExchangeBytes tallies what every top-layer exchange would have
 	// cost if full profiles were shipped instead of running the 3-step
 	// digest/common-items/delta protocol of Algorithm 1 (ablation ledger).
@@ -83,7 +102,10 @@ func New(ds *trace.Dataset, cfg Config) *Engine {
 		// The engine label lives above 32 bits so it can never collide
 		// with the per-node labels (u+1) in very large populations.
 		rng:     root.Split(0xE16 << 32),
+		latRng:  root.Split(0x1A7E << 32),
 		queries: make(map[uint64]*QueryRun),
+		events:  sim.NewEventQueue(),
+		frozen:  make(map[tagging.UserID][]*eagerEvent),
 	}
 	for u := 0; u < ds.Users(); u++ {
 		id := tagging.UserID(u)
@@ -121,6 +143,17 @@ func (e *Engine) LazyCycles() int { return e.lazyCycles }
 // EagerCycles returns the number of eager cycles run so far.
 func (e *Engine) EagerCycles() int { return e.eagerCycles }
 
+// Now returns the engine's virtual clock: time zero at construction,
+// advanced by Config.EagerPeriod per eager cycle and Config.LazyPeriod per
+// lazy cycle. Asynchronous deliveries (Config.Latency) are scheduled
+// against it and the per-query time metrics are measured on it.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// PendingEvents returns the number of in-flight delivery events (always 0
+// with synchronous delivery). Frozen events parked at departed nodes do
+// not count until redelivery is scheduled.
+func (e *Engine) PendingEvents() int { return e.events.Len() }
+
 // Queries returns every issued query in issue order.
 func (e *Engine) Queries() []*QueryRun {
 	out := make([]*QueryRun, 0, len(e.queryOrder))
@@ -142,6 +175,11 @@ func (e *Engine) NaiveExchangeBytes() uint64 { return e.naiveExchangeBytes }
 // automatically once the querier revives (so AllQueriesDone may flip back to
 // false after a Revive), but while the querier is away it must not keep
 // RunEager burning cycles forwarding branches nobody will read.
+//
+// Under asynchronous delivery (Config.Latency) a query with in-flight or
+// frozen delivery events is not yet done even when no node holds a branch
+// — completion requires every scheduled event applied — so RunEager keeps
+// running (and the clock keeps advancing) until the last delivery lands.
 func (e *Engine) AllQueriesDone() bool {
 	for _, id := range e.queryOrder {
 		qr := e.queries[id]
@@ -186,6 +224,10 @@ func (e *Engine) Bootstrap() {
 // contiguous range of nodes, in the cycle's canonical permutation order.
 // The output is byte-for-byte identical for every worker count.
 func (e *Engine) LazyCycle() {
+	e.net.SetNow(e.now)
+	if e.cfg.Latency != nil {
+		e.replayFrozen()
+	}
 	order := e.rng.Perm(len(e.nodes))
 	seq := e.cycleSeq
 	e.cycleSeq++
@@ -238,6 +280,13 @@ func (e *Engine) LazyCycle() {
 		}
 	})
 	e.commitDur += time.Since(start)
+	// The lazy cycle occupies one LazyPeriod of virtual time; in-flight
+	// eager deliveries falling inside the window arrive during it.
+	t1 := e.now + e.cfg.LazyPeriod
+	if e.cfg.Latency != nil {
+		e.pumpEvents(t1)
+	}
+	e.now = t1
 	e.lazyCycles++
 }
 
@@ -394,7 +443,9 @@ func (e *Engine) Kill(frac float64) []tagging.UserID {
 // profile and personal network (the paper's model: departures are
 // disconnections, not data loss — "her opinion on the tagged items keeps
 // meaningful", §3.4.2) and re-enters the gossip at the next cycle; her
-// random view heals through peer sampling.
+// random view heals through peer sampling. Under asynchronous delivery,
+// events frozen while she was away are redelivered at the start of the
+// next cycle (see replayFrozen).
 func (e *Engine) Revive(ids []tagging.UserID) {
 	for _, id := range ids {
 		e.net.SetOnline(id, true)

@@ -11,7 +11,9 @@ import (
 
 // engineFingerprint captures everything the determinism contract promises:
 // personal networks (members, scores, timestamps, digest and stored
-// versions), random views, query results and the network's full traffic
+// versions), random views, query results, per-query time metrics
+// (time-to-first-result / time-to-full-recall on the virtual clock),
+// in-flight and frozen delivery events, and the network's full traffic
 // counters, globally and per node.
 func engineFingerprint(e *Engine) string {
 	out := ""
@@ -34,12 +36,27 @@ func engineFingerprint(e *Engine) string {
 			out += fmt.Sprintf(" %d/%d", r.Item, r.Score)
 		}
 		b := qr.Bytes()
-		out += fmt.Sprintf(" bytes=%d/%d/%d/%d\n", b.Forwarded, b.Returned, b.PartialResults, b.Maintenance)
+		t1st, tfull := int64(-1), int64(-1)
+		if d, ok := qr.TimeToFirstResult(); ok {
+			t1st = int64(d)
+		}
+		if d, ok := qr.TimeToFullRecall(); ok {
+			tfull = int64(d)
+		}
+		out += fmt.Sprintf(" bytes=%d/%d/%d/%d cyc=%d t1st=%d tfull=%d inflight=%d\n",
+			b.Forwarded, b.Returned, b.PartialResults, b.Maintenance,
+			qr.Cycles(), t1st, tfull, qr.InFlight())
 	}
 	total := e.Network().Total()
 	for _, k := range sim.Kinds() {
 		out += fmt.Sprintf("total %v msgs=%d bytes=%d\n", k, total.Msgs[k], total.Bytes[k])
 	}
+	for u := 0; u < e.Users(); u++ {
+		if n := len(e.frozen[tagging.UserID(u)]); n > 0 {
+			out += fmt.Sprintf("frozen %d n=%d\n", u, n)
+		}
+	}
+	out += fmt.Sprintf("now=%d pending=%d\n", int64(e.Now()), e.PendingEvents())
 	out += fmt.Sprintf("naive=%d\n", e.NaiveExchangeBytes())
 	return out
 }

@@ -20,6 +20,7 @@ import (
 	"p3q/internal/core"
 	"p3q/internal/metrics"
 	"p3q/internal/randx"
+	"p3q/internal/sim"
 	"p3q/internal/similarity"
 	"p3q/internal/tagging"
 	"p3q/internal/topk"
@@ -48,6 +49,11 @@ type Config struct {
 	// of both modes (0 = all cores). Every value produces identical
 	// tables; Workers only changes how fast they are regenerated.
 	Workers int
+	// Latency models per-message delivery delay in the eager mode (nil =
+	// the paper's synchronous rounds). Set through the p3qsim -latency
+	// flag (sim.ParseLatency specs); the dedicated "latency" experiment
+	// sweeps its own models regardless of this field.
+	Latency sim.LatencyModel
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -177,6 +183,7 @@ func (w *World) CoreConfig(c int) core.Config {
 	cc.MaxDigestsPerGossip = w.Cfg.DigestCap()
 	cc.BloomBits = w.Cfg.ScaledBloomBits()
 	cc.Workers = w.Cfg.Workers
+	cc.Latency = w.Cfg.Latency
 	return cc
 }
 
@@ -190,6 +197,7 @@ func (w *World) HeteroConfig(lambda float64) core.Config {
 	cc.MaxDigestsPerGossip = w.Cfg.DigestCap()
 	cc.BloomBits = w.Cfg.ScaledBloomBits()
 	cc.Workers = w.Cfg.Workers
+	cc.Latency = w.Cfg.Latency
 	rng := randx.NewSource(w.Cfg.Seed).Split(uint64(lambda * 1000))
 	raw := rng.AssignStorage(w.Cfg.Users, lambda, randx.TailModeFor(lambda))
 	cc.CAssign = make([]int, len(raw))
@@ -265,6 +273,7 @@ func Registry() []Runner {
 		{"theory", "Theorems 2.1-2.4: R(alpha) and bounds", Theory},
 		{"bandwidth", "Section 3.3.2: lazy/eager bandwidth summary", Bandwidth},
 		{"timeline", "Section 3.5: query timeline in simulated wall-clock time", Timeline},
+		{"latency", "Extension: asynchronous eager delivery — time-to-first-result and time-to-full-recall under per-message latency models", Latency},
 		{"localonly", "Extension: local-only recall vs stored profiles (the §1 argument)", LocalOnly},
 		{"expansion", "Extension: personalized query expansion (§4)", Expansion},
 		{"ablations", "Extension: design-choice ablations (DESIGN.md §5)", Ablations},

@@ -35,7 +35,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "fig2", "fig3", "fig4", "fig5", "fig6", "table2",
 		"fig7a", "fig7b", "fig8", "fig9", "fig10",
 		"fig11a", "fig11b", "fig11c", "theory", "bandwidth",
-		"timeline", "localonly", "expansion", "ablations",
+		"timeline", "latency", "localonly", "expansion", "ablations",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -482,6 +482,33 @@ func TestScaledClassAndDigestCap(t *testing.T) {
 	}
 	if cap := small.DigestCap(); cap < 2 || cap > 5 {
 		t.Fatalf("scaled digest cap = %d, want a small positive bound", cap)
+	}
+}
+
+func TestLatencyShape(t *testing.T) {
+	tb := Latency(tinyCfg())[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("latency table has %d rows, want 5 models", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "sync" {
+		t.Fatalf("first row is %q, want the synchronous baseline", tb.Rows[0][0])
+	}
+	for _, row := range tb.Rows {
+		p50, p99 := cell(t, row[4]), cell(t, row[6])
+		if p99 < p50 {
+			t.Fatalf("%s: time-to-full-recall p99 %f below p50 %f", row[0], p99, p50)
+		}
+		if done := cell(t, row[7]); done <= 0 {
+			t.Fatalf("%s: no query completed", row[0])
+		}
+	}
+	// Delay can only push the full-recall tail outward relative to the
+	// synchronous rounds (same gossip schedule, later arrivals).
+	syncP99 := cell(t, tb.Rows[0][6])
+	for _, row := range tb.Rows[1:] {
+		if cell(t, row[6]) < syncP99 {
+			t.Fatalf("%s: full-recall p99 %f below the synchronous %f", row[0], cell(t, row[6]), syncP99)
+		}
 	}
 }
 

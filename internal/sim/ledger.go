@@ -1,5 +1,7 @@
 package sim
 
+import "time"
+
 // Ledger is a thread-confined message recorder for the engine's parallel
 // phases — the planning goroutines (both the lazy mode's per-node plans
 // and the eager mode's per-(initiator, query) plans) and the sharded
@@ -16,21 +18,29 @@ package sim
 // of Ledgers can record concurrently against the same Network.
 type Ledger struct {
 	nw      *Network
+	at      time.Duration
 	records []Record
 }
 
 // Record is one message captured by a Ledger, already resolved against the
 // liveness snapshot: a send to a departed node is stored as the probe it
-// degrades into, exactly as Network.Send would have accounted it.
+// degrades into, exactly as Network.Send would have accounted it. At is the
+// virtual send time: the network clock (Network.SetNow) when the ledger was
+// created, i.e. the start of the cycle whose plan or commit recorded the
+// message — stamped in every engine-driven run, latency-modelled or not,
+// and zero only when nothing advances the clock. Traffic accounting
+// ignores At; it exists for message-trace analysis.
 type Record struct {
 	From, To NodeID
 	Kind     Kind
 	Bytes    int
+	At       time.Duration
 }
 
 // NewLedger returns an empty ledger recording against this network's
-// current liveness.
-func (nw *Network) NewLedger() *Ledger { return &Ledger{nw: nw} }
+// current liveness, stamping records with the network clock at creation
+// time (the cycle being planned or committed).
+func (nw *Network) NewLedger() *Ledger { return &Ledger{nw: nw, at: nw.now} }
 
 // Send records a message with the same semantics as Network.Send: it
 // returns true if the destination is online (the message is recorded under
@@ -42,10 +52,10 @@ func (l *Ledger) Send(from, to NodeID, k Kind, bytes int) bool {
 		panic("sim: offline node attempted to send (ledger)")
 	}
 	if !l.nw.online[to] {
-		l.records = append(l.records, Record{From: from, To: to, Kind: MsgProbe, Bytes: ProbeBytes})
+		l.records = append(l.records, Record{From: from, To: to, Kind: MsgProbe, Bytes: ProbeBytes, At: l.at})
 		return false
 	}
-	l.records = append(l.records, Record{From: from, To: to, Kind: k, Bytes: bytes})
+	l.records = append(l.records, Record{From: from, To: to, Kind: k, Bytes: bytes, At: l.at})
 	return true
 }
 

@@ -4,12 +4,30 @@
 // every message and byte exchanged, per category and per node, so the
 // bandwidth figures of §3.3 can be regenerated.
 //
+// Three pieces make up the substrate:
+//
+//   - Network tracks liveness and the per-kind / per-node traffic counters.
+//   - Ledger is the thread-confined recorder the engine's parallel phases
+//     write into; committing a cycle's ledgers in a canonical order makes
+//     the counters independent of how work was scheduled across workers
+//     (see Ledger). Records carry a virtual send timestamp (Record.At) when
+//     the engine drives the clock through Network.SetNow, and
+//     Ledger.BytesSince brackets commit-time sub-sequences so their traffic
+//     can be attributed to the exchange that caused it.
+//   - EventQueue and the LatencyModel implementations (events.go) are the
+//     event-driven half: a deterministic priority queue of timestamped
+//     events plus pluggable per-message delay distributions (fixed,
+//     uniform, log-normal, geo-zone matrix), which the engine uses for
+//     asynchronous eager delivery — messages arriving at model-drawn times
+//     instead of cycle boundaries.
+//
 // The protocol logic itself lives in package core; sim deliberately knows
 // nothing about gossip or queries beyond the message taxonomy.
 package sim
 
 import (
 	"fmt"
+	"time"
 
 	"p3q/internal/randx"
 	"p3q/internal/tagging"
@@ -134,7 +152,19 @@ type Network struct {
 	nOnline int
 	total   Traffic
 	perNode []Traffic // traffic *sent* by each node
+
+	// now is the virtual clock stamped onto ledger records (Record.At).
+	// The engine advances it at cycle boundaries; it has no effect on
+	// liveness or traffic accounting.
+	now time.Duration
 }
+
+// SetNow advances the virtual clock stamped onto records of ledgers
+// created afterwards. Pure metadata: traffic counters ignore it.
+func (nw *Network) SetNow(t time.Duration) { nw.now = t }
+
+// Now returns the network's virtual clock.
+func (nw *Network) Now() time.Duration { return nw.now }
 
 // NewNetwork returns a network of n nodes, all online.
 func NewNetwork(n int) *Network {

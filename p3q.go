@@ -38,21 +38,41 @@
 // results, reached-sets and traffic counters — for every worker count
 // (and across repeated runs with the same seed).
 //
+// Delivery is synchronous by default — every message of a cycle lands at
+// the cycle boundary, the paper's PeerSim round model. Setting
+// Config.Latency to a LatencyModel (FixedLatency, UniformLatency,
+// LogNormalLatency, GeoLatency, or a spec via ParseLatency) switches the
+// eager mode to event-driven asynchronous delivery: forwarded lists,
+// returned portions and partial results arrive at model-drawn times on
+// the engine's virtual clock (Engine.Now), queriers merge partial results
+// the moment they arrive, queries can settle between cycle boundaries,
+// and every run reports per-query QueryRun.TimeToFirstResult and
+// QueryRun.TimeToFullRecall. Messages in flight toward a departed node
+// freeze and are redelivered when it revives. Determinism is unaffected:
+// output stays byte-for-byte identical for every Workers value, and a
+// zero-delay model reproduces the synchronous engine's protocol state —
+// networks, traffic, completed-query results — byte for byte (only the
+// in-progress top-k bounds of an unfinished query may differ, because
+// partial lists are merged per arrival rather than per cycle batch).
+//
 // Queries survive querier churn: if the querier departs mid-query the run
 // stalls (QueryRun.State reports QueryStalled, and the engine stops
 // spending eager cycles on it) and resumes automatically when the querier
 // revives, still reaching full recall.
 //
-// See the examples directory for runnable scenarios and internal/experiments
-// for the harness reproducing every table and figure of the paper.
+// See ARCHITECTURE.md for the engine design and determinism contract, the
+// examples directory for runnable scenarios, and internal/experiments for
+// the harness reproducing every table and figure of the paper.
 package p3q
 
 import (
 	"io"
+	"time"
 
 	"p3q/internal/baseline"
 	"p3q/internal/core"
 	"p3q/internal/expansion"
+	"p3q/internal/sim"
 	"p3q/internal/similarity"
 	"p3q/internal/tagging"
 	"p3q/internal/topk"
@@ -96,9 +116,34 @@ type (
 )
 
 // DefaultConfig returns the laptop-scale protocol configuration (s=100,
-// c=10, r=10, alpha=0.5, k=10, the paper's Bloom geometry, lazy-mode
-// planning on all cores).
+// c=10, r=10, alpha=0.5, k=10, the paper's Bloom geometry, planning and
+// commit on all cores, synchronous delivery).
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Latency model types (asynchronous eager delivery, Config.Latency).
+type (
+	// LatencyModel draws per-message one-way delivery delays.
+	LatencyModel = sim.LatencyModel
+	// FixedLatency is a constant delay.
+	FixedLatency = sim.FixedLatency
+	// UniformLatency draws uniformly from [Min, Max].
+	UniformLatency = sim.UniformLatency
+	// LogNormalLatency draws heavy-tailed Internet-like delays.
+	LogNormalLatency = sim.LogNormalLatency
+	// GeoLatency models zoned deployments with a zone-pair latency matrix.
+	GeoLatency = sim.GeoLatency
+)
+
+// ParseLatency builds a latency model from a CLI-style spec ("none",
+// "fixed:50ms", "uniform:10ms,200ms", "lognormal:1s,0.8",
+// "geo:3,25ms,120ms").
+func ParseLatency(spec string) (LatencyModel, error) { return sim.ParseLatency(spec) }
+
+// NewGeoLatency builds the symmetric zone model of the geo CLI spec: intra
+// within a zone, inter across zones, nodes assigned round-robin.
+func NewGeoLatency(zones int, intra, inter time.Duration) GeoLatency {
+	return sim.NewGeoLatency(zones, intra, inter)
+}
 
 // NewEngine builds an engine over the dataset. Call Bootstrap and RunLazy
 // to converge organically, or SeedIdealNetworks to start converged.
