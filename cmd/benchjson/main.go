@@ -21,6 +21,16 @@
 // BenchmarkEagerBurst5k families, override with -track) slowed down by
 // more than -threshold (default 10%). CI runs it against the previous
 // commit's artifact when one exists.
+//
+// The -history mode renders the benchmark trajectory across any number of
+// archived artifacts: one row per (artifact, tracked benchmark) with
+// ns/op and the plan-ns/op / commit-ns/op phase split the engine benches
+// report, as a markdown table (or CSV with -csv). Rows follow the argument
+// order, so pass artifacts oldest first — BENCH_<sha>.json names are not
+// chronological, so expand globs by download/file time, e.g.:
+//
+//	benchjson -history BENCH_aaa.json BENCH_bbb.json BENCH_ccc.json
+//	benchjson -history -csv $(ls -tr BENCH_*.json) > trajectory.csv
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,9 +70,23 @@ const defaultTracked = "BenchmarkLazyConvergence5k,BenchmarkEagerBurst5k"
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
 	compare := flag.Bool("compare", false, "compare two archived artifacts: benchjson -compare old.json new.json")
+	history := flag.Bool("history", false, "render the tracked benches' ns/op and plan/commit phase split across archived artifacts (oldest first): benchjson -history a.json b.json ...")
+	csv := flag.Bool("csv", false, "emit CSV instead of a markdown table in -history mode")
 	threshold := flag.Float64("threshold", 0.10, "ns/op slowdown fraction that counts as a regression in -compare mode")
-	track := flag.String("track", defaultTracked, "comma-separated benchmark name prefixes whose regressions fail -compare mode")
+	track := flag.String("track", defaultTracked, "comma-separated benchmark name prefixes tracked by -compare and -history")
 	flag.Parse()
+
+	if *history {
+		if flag.NArg() < 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -history needs at least one artifact: benchjson -history a.json [b.json ...]")
+			os.Exit(2)
+		}
+		if err := historyTable(flag.Args(), splitTracked(*track), *csv, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -205,6 +230,91 @@ func compareReports(oldRep, newRep *Report, tracked []string, threshold float64,
 		fmt.Fprintf(w, "%d tracked benchmark(s) regressed beyond %.0f%%\n", regressions, 100*threshold)
 	}
 	return regressions
+}
+
+// historyRow is one (artifact, benchmark) point of the trajectory table.
+type historyRow struct {
+	artifact  string
+	benchmark string
+	ns        float64
+	plan      float64 // plan-ns/op, 0 when the benchmark does not report it
+	commit    float64 // commit-ns/op, likewise
+}
+
+// historyTable renders the tracked benchmarks' ns/op and plan/commit phase
+// split across the given artifacts (in argument order — pass oldest first)
+// as a markdown table, or CSV when csv is set. This is the
+// benchmark-trajectory view of the ROADMAP: the plan and commit columns
+// come from the custom metrics the 5k engine benches report, so the
+// historical Amdahl limit (the commit phase share) stays visible across
+// commits.
+func historyTable(paths []string, tracked []string, csv bool, w io.Writer) error {
+	isTracked := func(name string) bool {
+		for _, p := range tracked {
+			if strings.HasPrefix(name, p) {
+				return true
+			}
+		}
+		return false
+	}
+	var rows []historyRow
+	for _, path := range paths {
+		rep, err := loadReport(path)
+		if err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for _, r := range rep.Results {
+			key := benchKey(r)
+			name := key[strings.LastIndex(key, " ")+1:]
+			if seen[key] || !isTracked(name) {
+				continue
+			}
+			seen[key] = true
+			ns, ok := r.Metrics["ns/op"]
+			if !ok {
+				continue
+			}
+			rows = append(rows, historyRow{
+				artifact:  filepath.Base(path),
+				benchmark: name,
+				ns:        ns,
+				plan:      r.Metrics["plan-ns/op"],
+				commit:    r.Metrics["commit-ns/op"],
+			})
+		}
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no tracked benchmark (%s) found in the given artifacts", strings.Join(tracked, ", "))
+	}
+
+	phase := func(v float64) string {
+		if v == 0 {
+			return ""
+		}
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	planShare := func(r historyRow) string {
+		if r.plan == 0 || r.plan+r.commit == 0 {
+			return ""
+		}
+		return fmt.Sprintf("%.1f%%", 100*r.plan/(r.plan+r.commit))
+	}
+	if csv {
+		fmt.Fprintln(w, "artifact,benchmark,ns/op,plan-ns/op,commit-ns/op,plan share")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s,%s,%.0f,%s,%s,%s\n",
+				r.artifact, r.benchmark, r.ns, phase(r.plan), phase(r.commit), planShare(r))
+		}
+		return nil
+	}
+	fmt.Fprintln(w, "| artifact | benchmark | ns/op | plan-ns/op | commit-ns/op | plan share |")
+	fmt.Fprintln(w, "| --- | --- | ---: | ---: | ---: | ---: |")
+	for _, r := range rows {
+		fmt.Fprintf(w, "| %s | %s | %.0f | %s | %s | %s |\n",
+			r.artifact, r.benchmark, r.ns, phase(r.plan), phase(r.commit), planShare(r))
+	}
+	return nil
 }
 
 // parse reads `go test -bench` text output and extracts every benchmark

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -132,5 +135,68 @@ func TestCompareEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "[tracked]") {
 		t.Fatalf("tracked benchmarks not marked:\n%s", out.String())
+	}
+}
+
+// writeArtifact stores a report as a JSON artifact file for history tests.
+func writeArtifact(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHistoryTable(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(ns, plan, commit float64) *Report {
+		return &Report{Results: []Result{
+			{Name: "BenchmarkLazyConvergence5k/workers=1-8", Pkg: "p3q", Iterations: 1,
+				Metrics: map[string]float64{"ns/op": ns, "plan-ns/op": plan, "commit-ns/op": commit}},
+			{Name: "BenchmarkUntracked-8", Pkg: "p3q", Iterations: 1,
+				Metrics: map[string]float64{"ns/op": 1}},
+		}}
+	}
+	a := writeArtifact(t, dir, "BENCH_aaa.json", mk(1000, 600, 300))
+	b := writeArtifact(t, dir, "BENCH_bbb.json", mk(900, 500, 320))
+
+	var out strings.Builder
+	if err := historyTable([]string{a, b}, splitTracked(defaultTracked), false, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"| BENCH_aaa.json | BenchmarkLazyConvergence5k/workers=1 | 1000 | 600 | 300 | 66.7% |",
+		"| BENCH_bbb.json | BenchmarkLazyConvergence5k/workers=1 | 900 | 500 | 320 | 61.0% |",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("history table missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "BenchmarkUntracked") {
+		t.Fatalf("untracked benchmark leaked into the history table:\n%s", got)
+	}
+
+	out.Reset()
+	if err := historyTable([]string{a, b}, splitTracked(defaultTracked), true, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "BENCH_aaa.json,BenchmarkLazyConvergence5k/workers=1,1000,600,300,66.7%") {
+		t.Fatalf("CSV history missing row:\n%s", out.String())
+	}
+}
+
+func TestHistoryTableNoTrackedBenches(t *testing.T) {
+	dir := t.TempDir()
+	p := writeArtifact(t, dir, "BENCH_x.json", mkReport(map[string]float64{"BenchmarkOther-8": 5}))
+	var out strings.Builder
+	if err := historyTable([]string{p}, splitTracked(defaultTracked), false, &out); err == nil {
+		t.Fatal("history over artifacts without tracked benches should error")
 	}
 }

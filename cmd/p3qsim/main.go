@@ -12,6 +12,15 @@
 //	p3qsim -exp latency              # async delivery: time-to-result distributions
 //	p3qsim -exp fig3 -latency lognormal:1s,0.8   # any experiment under a latency model
 //
+// Long runs checkpoint and resume through the converge driver:
+//
+//	p3qsim -exp converge -cycles 200 -checkpoint-every 50 -checkpoint-dir ckpt
+//	p3qsim -exp converge -cycles 200 -resume ckpt/checkpoint_cycle_0100.p3qc
+//
+// A checkpoint captures the complete engine state (see ARCHITECTURE.md);
+// resuming reproduces the uninterrupted run byte for byte, for any
+// -workers value.
+//
 // Each experiment prints one table per paper artifact; EXPERIMENTS.md in
 // the repository root records paper-reported vs measured values.
 package main
@@ -23,10 +32,19 @@ import (
 	"path/filepath"
 	"time"
 
+	"p3q/internal/core"
 	"p3q/internal/experiments"
 	"p3q/internal/metrics"
 	"p3q/internal/sim"
+	"p3q/internal/trace"
 )
+
+// die prints a one-line friendly error and exits non-zero — never a panic,
+// never a usage dump.
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "p3qsim: "+format+"\n", args...)
+	os.Exit(2)
+}
 
 func main() {
 	var (
@@ -42,6 +60,9 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "random seed (0 = default)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outDir    = flag.String("out", "", "also write one CSV file per table into this directory")
+		ckptEvery = flag.Int("checkpoint-every", 0, "converge driver: write a checkpoint every N cycles into -checkpoint-dir (0 = only the final checkpoint, if a dir is set)")
+		ckptDir   = flag.String("checkpoint-dir", "", "converge driver: directory receiving checkpoint_cycle_NNNN.p3qc files")
+		resume    = flag.String("resume", "", "converge driver: restore engine state from this checkpoint file and continue the run")
 	)
 	flag.Parse()
 
@@ -70,13 +91,22 @@ func main() {
 	if *latency != "" {
 		m, err := sim.ParseLatency(*latency)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "p3qsim: %v\n", err)
-			os.Exit(2)
+			die("%v", err)
 		}
 		cfg.Latency = m
 	}
 	if *seed > 0 {
 		cfg.Seed = *seed
+	}
+	if *ckptEvery < 0 {
+		die("-checkpoint-every must be non-negative, got %d", *ckptEvery)
+	}
+	if *ckptEvery > 0 && *ckptDir == "" {
+		die("-checkpoint-every needs -checkpoint-dir to know where checkpoints go")
+	}
+	usesCheckpoints := *ckptEvery > 0 || *ckptDir != "" || *resume != ""
+	if usesCheckpoints && *exp != "converge" {
+		die("checkpoint flags apply to the converge driver; run with -exp converge")
 	}
 
 	switch *exp {
@@ -85,20 +115,123 @@ func main() {
 		for _, r := range experiments.Registry() {
 			fmt.Printf("  %-10s %s\n", r.Name, r.Paper)
 		}
+		fmt.Printf("  %-10s %s\n", "converge", "driver: converge the overlay and process a query burst, with periodic checkpoints (-checkpoint-every/-checkpoint-dir) and resume (-resume)")
 		return
 	case "all":
 		for _, r := range experiments.Registry() {
 			run(r, cfg, *csv, *outDir)
 		}
 		return
+	case "converge":
+		runConverge(cfg, *ckptEvery, *ckptDir, *resume)
+		return
 	default:
 		r, ok := experiments.Lookup(*exp)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "p3qsim: unknown experiment %q (try -exp list)\n", *exp)
-			os.Exit(2)
+			die("unknown experiment %q (try -exp list)", *exp)
 		}
 		run(r, cfg, *csv, *outDir)
 	}
+}
+
+// runConverge is the checkpoint-aware simulation driver: converge the
+// overlay for -cycles lazy cycles, then issue -queries queries and run the
+// eager mode to completion, writing a checkpoint every -checkpoint-every
+// cycles (and a final one when -checkpoint-dir is set). With -resume the
+// engine restores from the given file — over the deterministically
+// regenerated base trace, so the same flags must be passed — and continues
+// exactly where the checkpointed run stopped.
+func runConverge(cfg experiments.Config, every int, dir, resume string) {
+	start := time.Now()
+	// cfg.CoreConfig is the same derivation the experiments harness uses,
+	// so a checkpoint written here restores in either with the same flags.
+	cc := cfg.CoreConfig(10)
+	p := trace.DefaultGenParams(cfg.Users)
+	p.MeanItems = cfg.MeanItems
+	p.Seed = cfg.Seed
+	ds := trace.Generate(p)
+
+	var e *core.Engine
+	if resume != "" {
+		f, err := os.Open(resume)
+		if err != nil {
+			die("cannot resume: %v", err)
+		}
+		e, err = core.Restore(f, ds, cc)
+		f.Close()
+		if err != nil {
+			die("cannot resume from %s: %v", resume, err)
+		}
+		fmt.Printf("resumed from %s at lazy cycle %d (eager %d, %d queries issued)\n",
+			resume, e.LazyCycles(), e.EagerCycles(), len(e.Queries()))
+	} else {
+		e = core.New(ds, cc)
+		e.Bootstrap()
+	}
+
+	cycles := func() int { return e.LazyCycles() + e.EagerCycles() }
+	lastCkpt := -1
+	maybeCheckpoint := func(force bool) {
+		if dir == "" || cycles() == lastCkpt {
+			return
+		}
+		if !force && (every == 0 || cycles()%every != 0) {
+			return
+		}
+		path := filepath.Join(dir, fmt.Sprintf("checkpoint_cycle_%04d.p3qc", cycles()))
+		if err := writeCheckpoint(e, dir, path); err != nil {
+			die("%v", err)
+		}
+		lastCkpt = cycles()
+		fmt.Printf("checkpoint written: %s\n", path)
+	}
+
+	for e.LazyCycles() < cfg.Cycles {
+		e.LazyCycle()
+		maybeCheckpoint(false)
+	}
+	if len(e.Queries()) == 0 {
+		queries := trace.GenerateQueries(ds, cfg.Seed+1)
+		for _, q := range queries[:min(cfg.Queries, len(queries))] {
+			e.IssueQuery(q)
+		}
+	}
+	for e.EagerCycles() < cfg.Cycles*10 && !e.AllQueriesDone() {
+		e.EagerCycle()
+		maybeCheckpoint(false)
+	}
+	maybeCheckpoint(true)
+
+	fmt.Printf("%s\n[converge: %d lazy + %d eager cycles in %s, users=%d s=%d seed=%d]\n",
+		e.Stats(), e.LazyCycles(), e.EagerCycles(), time.Since(start).Round(time.Millisecond),
+		cfg.Users, cfg.S, cfg.Seed)
+}
+
+// writeCheckpoint snapshots the engine into path, creating the directory on
+// first use and writing through a temp file so a crash mid-write never
+// leaves a truncated checkpoint behind.
+func writeCheckpoint(e *core.Engine, dir, path string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cannot create checkpoint dir: %v", err)
+	}
+	tmp, err := os.CreateTemp(dir, "checkpoint_*.tmp")
+	if err != nil {
+		return fmt.Errorf("cannot write checkpoint: %v", err)
+	}
+	if err := e.Snapshot(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cannot write checkpoint: %v", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cannot write checkpoint: %v", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cannot write checkpoint: %v", err)
+	}
+	return nil
 }
 
 func run(r experiments.Runner, cfg experiments.Config, csv bool, outDir string) {

@@ -1,0 +1,133 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(7)
+	w.U16(65535)
+	w.U32(0xDEADBEEF)
+	w.U64(1 << 60)
+	w.I64(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.Count(3)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	if got := r.U8(); got != 7 {
+		t.Fatalf("U8 = %d", got)
+	}
+	if got := r.U16(); got != 65535 {
+		t.Fatalf("U16 = %d", got)
+	}
+	if got := r.U32(); got != 0xDEADBEEF {
+		t.Fatalf("U32 = %x", got)
+	}
+	if got := r.U64(); got != 1<<60 {
+		t.Fatalf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatal("Bool round trip failed")
+	}
+	if got := r.Count(10); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	r.End()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	if !errors.Is(r.Err(), ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", r.Err())
+	}
+}
+
+func TestRejectsVersionSkew(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[4] ^= 0xFF // flip the version field behind the magic
+	r := NewReader(bytes.NewReader(raw))
+	if r.Err() == nil || !strings.Contains(r.Err().Error(), "version") {
+		t.Fatalf("err = %v, want a version mismatch", r.Err())
+	}
+}
+
+func TestRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(1234)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	r := NewReader(bytes.NewReader(raw[:len(raw)-6]))
+	r.U64()
+	r.End()
+	if !errors.Is(r.Err(), io.ErrUnexpectedEOF) {
+		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", r.Err())
+	}
+}
+
+func TestCountLimit(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Count(1000)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if r.Count(999); r.Err() == nil {
+		t.Fatal("Count accepted a value above its limit")
+	}
+}
+
+func TestStickyErrors(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	first := r.Err()
+	if first == nil {
+		t.Fatal("empty input accepted")
+	}
+	r.U64()
+	r.Bool()
+	r.End()
+	if r.Err() != first {
+		t.Fatalf("error not sticky: %v then %v", first, r.Err())
+	}
+}
+
+func TestMissingEndMarker(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(99)
+	w.U32(99) // payload where End expects the marker
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	r.U32()
+	r.End()
+	if r.Err() == nil {
+		t.Fatal("End accepted a stream without the marker")
+	}
+}

@@ -1,0 +1,338 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"p3q/internal/sim"
+	"p3q/internal/tagging"
+	"p3q/internal/trace"
+)
+
+// Tests for the checkpoint/restore subsystem. The correctness bar is the
+// repository's determinism contract extended across a snapshot boundary:
+// snapshot at cycle N, restore, run M more cycles, and the fingerprint must
+// equal an uninterrupted N+M run byte for byte — in synchronous and
+// asynchronous delivery, for Workers 1/2/7, including snapshots taken while
+// events are frozen at departed nodes.
+
+// checkpointCfg is the shared configuration of the split workload.
+func checkpointCfg(workers int, lat sim.LatencyModel) Config {
+	cfg := smallCfg()
+	cfg.S = 15
+	cfg.C = 5
+	cfg.Workers = workers
+	cfg.Latency = lat
+	return cfg
+}
+
+// checkpointPhaseA drives an engine into a deliberately messy mid-run
+// state: organically converged networks, applied profile changes, a query
+// burst, and a churn wave striking mid-burst — so the snapshot carries
+// stalled queries, remaining-list branches spread over the population and
+// (under a latency model) pending and frozen delivery events. It returns
+// the engine, its world and the killed IDs the continuation revives.
+func checkpointPhaseA(t *testing.T, cfg Config) (*Engine, *testWorld, []tagging.UserID) {
+	t.Helper()
+	w := newWorld(t, 120, cfg, 77)
+	e := New(w.ds, cfg)
+	e.Bootstrap()
+	e.RunLazy(8)
+
+	trace.ApplyChanges(w.ds, trace.GenerateChanges(w.ds, trace.ChangeParams{
+		FracUsers: 0.3, MeanNew: 4, SigmaNew: 0.5, MaxNew: 15, Seed: 9,
+	}))
+	e.RunLazy(4)
+
+	for _, q := range trace.GenerateQueries(w.ds, 5)[:20] {
+		e.IssueQuery(q)
+	}
+	e.RunEager(2)
+
+	killed := e.Kill(0.25)
+	if len(killed) == 0 {
+		t.Fatal("Kill removed nobody")
+	}
+	for i := 0; i < 3; i++ {
+		e.EagerCycle() // survivors gossip around the holes; async events freeze
+	}
+	e.RunLazy(1)
+	return e, w, killed
+}
+
+// checkpointPhaseB continues the workload after the (real or hypothetical)
+// snapshot point: revival, the stalled queries resuming to completion, a
+// second churn wave and lazy maintenance.
+func checkpointPhaseB(e *Engine, killed []tagging.UserID) string {
+	e.RunLazy(1)
+	e.Revive(killed)
+	e.RunEager(30)
+	second := e.Kill(0.25)
+	e.RunLazy(4)
+	e.Revive(second)
+	e.RunLazy(4)
+	return engineFingerprint(e)
+}
+
+// resumedRun executes phase A at snapWorkers, snapshots, restores at
+// restoreWorkers (over the phase-A dataset, the warm-fork path), and runs
+// phase B on the restored engine. wantFrozen asserts the snapshot was taken
+// while events were frozen at departed nodes.
+func resumedRun(t *testing.T, lat sim.LatencyModel, snapWorkers, restoreWorkers int, wantFrozen bool) string {
+	t.Helper()
+	e, w, killed := checkpointPhaseA(t, checkpointCfg(snapWorkers, lat))
+	if wantFrozen && len(e.frozen) == 0 {
+		t.Fatal("no events frozen at departed nodes at the snapshot point; the scenario must cover mid-burst snapshots")
+	}
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	restored, err := Restore(&buf, w.ds, checkpointCfg(restoreWorkers, lat))
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	return checkpointPhaseB(restored, killed)
+}
+
+func TestCheckpointResumeEquivalence(t *testing.T) {
+	// Heavy-tailed latency pushes deliveries across cycle boundaries, so
+	// the async snapshot carries in-flight events and frozen
+	// store-and-forward state.
+	lognormal := sim.LogNormalLatency{Median: 2 * time.Second, Sigma: 1.0}
+	for _, mode := range []struct {
+		name string
+		lat  sim.LatencyModel
+	}{
+		{"sync", nil},
+		{"async", lognormal},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			e, _, killed := checkpointPhaseA(t, checkpointCfg(1, mode.lat))
+			want := checkpointPhaseB(e, killed)
+			for _, workers := range []int{1, 2, 7} {
+				got := resumedRun(t, mode.lat, workers, workers, mode.lat != nil)
+				if got != want {
+					t.Fatalf("Workers=%d resumed run diverged from the uninterrupted run:\n%s",
+						workers, firstDiff(want, got))
+				}
+			}
+			// The snapshot itself is worker-count independent: snapshot at
+			// one worker count, restore at another.
+			if got := resumedRun(t, mode.lat, 7, 2, mode.lat != nil); got != want {
+				t.Fatalf("snapshot at Workers=7 restored at Workers=2 diverged:\n%s", firstDiff(want, got))
+			}
+		})
+	}
+}
+
+func TestCheckpointEmbeddedDatasetResume(t *testing.T) {
+	// Restoring with ds == nil rebuilds the dataset from the embedded
+	// profile logs (the cross-process path: no base trace at hand). The
+	// continuation must match the warm-fork restore byte for byte.
+	e, w, killed := checkpointPhaseA(t, checkpointCfg(2, nil))
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	warm, err := Restore(bytes.NewReader(raw), w.ds, checkpointCfg(2, nil))
+	if err != nil {
+		t.Fatalf("Restore with dataset: %v", err)
+	}
+	embedded, err := Restore(bytes.NewReader(raw), nil, checkpointCfg(2, nil))
+	if err != nil {
+		t.Fatalf("Restore with embedded dataset: %v", err)
+	}
+	if embedded.Dataset() == w.ds {
+		t.Fatal("embedded restore returned the caller's dataset")
+	}
+	a, b := checkpointPhaseB(warm, killed), checkpointPhaseB(embedded, killed)
+	if a != b {
+		t.Fatalf("embedded-dataset resume diverged from warm-fork resume:\n%s", firstDiff(a, b))
+	}
+}
+
+func TestCheckpointSnapshotRoundTripBytes(t *testing.T) {
+	// Snapshot -> Restore -> Snapshot must reproduce the identical byte
+	// stream: the strongest cheap proof that nothing is lost or reordered.
+	e, _, _ := checkpointPhaseA(t, checkpointCfg(2, sim.FixedLatency(7*time.Second)))
+	var first bytes.Buffer
+	if err := e.Snapshot(&first); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(first.Bytes()), nil, checkpointCfg(2, sim.FixedLatency(7*time.Second)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := restored.Snapshot(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("snapshot round trip changed the byte stream (%d vs %d bytes)", first.Len(), second.Len())
+	}
+}
+
+// smallSnapshot builds a compact valid checkpoint for the rejection tests
+// and the fuzzer seed corpus.
+func smallSnapshot(t testing.TB) ([]byte, Config) {
+	t.Helper()
+	cfg := smallCfg()
+	cfg.Workers = 1
+	w := newWorld(t, 40, cfg, 11)
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	for _, q := range trace.GenerateQueries(w.ds, 3)[:5] {
+		e.IssueQuery(q)
+	}
+	e.RunEager(1)
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), cfg
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	_, cfg := smallSnapshot(t)
+	if _, err := Restore(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}), nil, cfg); err == nil {
+		t.Fatal("Restore accepted garbage input")
+	}
+	if _, err := Restore(bytes.NewReader(nil), nil, cfg); err == nil {
+		t.Fatal("Restore accepted empty input")
+	}
+}
+
+func TestRestoreRejectsTruncated(t *testing.T) {
+	raw, cfg := smallSnapshot(t)
+	for _, cut := range []int{len(raw) / 2, len(raw) - 1, 7} {
+		if _, err := Restore(bytes.NewReader(raw[:cut]), nil, cfg); err == nil {
+			t.Fatalf("Restore accepted a snapshot truncated to %d of %d bytes", cut, len(raw))
+		} else if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncation at %d bytes surfaced as %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestRestoreRejectsVersionSkew(t *testing.T) {
+	raw, cfg := smallSnapshot(t)
+	skewed := append([]byte(nil), raw...)
+	skewed[4] ^= 0xFF // the version field sits behind the 4-byte magic
+	_, err := Restore(bytes.NewReader(skewed), nil, cfg)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("version-skewed snapshot surfaced as %v, want a version error", err)
+	}
+}
+
+func TestRestoreRejectsConfigMismatch(t *testing.T) {
+	raw, cfg := smallSnapshot(t)
+	bad := cfg
+	bad.S = cfg.S + 1
+	if _, err := Restore(bytes.NewReader(raw), nil, bad); err == nil || !strings.Contains(err.Error(), "config mismatch") {
+		t.Fatalf("restore with a different S surfaced as %v, want a config mismatch", err)
+	}
+	bad = cfg
+	bad.Seed = cfg.Seed + 99
+	if _, err := Restore(bytes.NewReader(raw), nil, bad); err == nil || !strings.Contains(err.Error(), "config mismatch") {
+		t.Fatalf("restore with a different Seed surfaced as %v, want a config mismatch", err)
+	}
+}
+
+func TestRestoreRejectsCAssignMismatch(t *testing.T) {
+	// Heterogeneous storage capacities are config too: restoring under a
+	// different CAssign draw must fail the config-match contract, not
+	// silently keep the snapshot's capacities.
+	cfg := smallCfg()
+	cfg.Workers = 1
+	w := newWorld(t, 40, cfg, 11)
+	cfg.CAssign = make([]int, 40)
+	for i := range cfg.CAssign {
+		cfg.CAssign[i] = 3 + i%5
+	}
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := Restore(bytes.NewReader(raw), nil, cfg); err != nil {
+		t.Fatalf("restore under the snapshotting CAssign failed: %v", err)
+	}
+	bad := cfg
+	bad.CAssign = make([]int, 40)
+	for i := range bad.CAssign {
+		bad.CAssign[i] = 2 + i%7 // a different draw
+	}
+	if _, err := Restore(bytes.NewReader(raw), nil, bad); err == nil || !strings.Contains(err.Error(), "config mismatch") {
+		t.Fatalf("restore under a different CAssign surfaced as %v, want a config mismatch", err)
+	}
+	short := cfg
+	short.CAssign = cfg.CAssign[:10]
+	if _, err := Restore(bytes.NewReader(raw), nil, short); err == nil {
+		t.Fatal("restore accepted a CAssign of the wrong length")
+	}
+}
+
+func TestRestoreRejectsForeignDataset(t *testing.T) {
+	raw, cfg := smallSnapshot(t)
+	other := newWorld(t, 40, cfg, 99) // same size, different content
+	if _, err := Restore(bytes.NewReader(raw), other.ds, cfg); err == nil {
+		t.Fatal("Restore accepted a dataset that is not the checkpoint's base")
+	}
+}
+
+func TestRestoreRejectsAheadDataset(t *testing.T) {
+	// A dataset that already advanced past the snapshot (changes applied
+	// after the checkpoint was written) cannot be rolled back.
+	cfg := smallCfg()
+	cfg.Workers = 1
+	w := newWorld(t, 40, cfg, 11)
+	e := New(w.ds, cfg)
+	e.SeedIdealNetworks(w.ideal)
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trace.ApplyChanges(w.ds, trace.GenerateChanges(w.ds, trace.ChangeParams{
+		FracUsers: 0.5, MeanNew: 3, SigmaNew: 0.5, MaxNew: 10, Seed: 4,
+	}))
+	if _, err := Restore(&buf, w.ds, cfg); err == nil {
+		t.Fatal("Restore accepted a dataset ahead of the checkpoint")
+	}
+}
+
+// FuzzRestore hardens the checkpoint parser the way FuzzLoad hardens the
+// trace parser: arbitrary input must never panic or hang, and anything
+// accepted must yield an engine that survives running real cycles.
+func FuzzRestore(f *testing.F) {
+	raw, cfg := smallSnapshot(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:16])
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := Restore(bytes.NewReader(data), nil, cfg)
+		if err != nil {
+			return // rejecting malformed input is correct
+		}
+		// Accepted input must be internally coherent: cycles of both modes
+		// must run and the state must re-snapshot.
+		_ = e.Stats()
+		e.LazyCycle()
+		e.EagerCycle()
+		var buf bytes.Buffer
+		if err := e.Snapshot(&buf); err != nil {
+			t.Fatalf("re-snapshotting an accepted restore failed: %v", err)
+		}
+	})
+}

@@ -173,19 +173,25 @@ func (c Config) DigestCap() int {
 	return v
 }
 
-// CoreConfig builds a protocol configuration with uniform storage c.
-func (w *World) CoreConfig(c int) core.Config {
+// CoreConfig builds a protocol configuration with uniform storage c. It is
+// the single source of the engine parameters every harness derives from an
+// experiments configuration — cmd/p3qsim's converge driver builds through
+// it too, so checkpoints written by one harness restore in the other.
+func (c Config) CoreConfig(storageC int) core.Config {
 	cc := core.DefaultConfig()
-	cc.S = w.Cfg.S
-	cc.C = c
-	cc.K = w.Cfg.K
-	cc.Seed = w.Cfg.Seed
-	cc.MaxDigestsPerGossip = w.Cfg.DigestCap()
-	cc.BloomBits = w.Cfg.ScaledBloomBits()
-	cc.Workers = w.Cfg.Workers
-	cc.Latency = w.Cfg.Latency
+	cc.S = c.S
+	cc.C = storageC
+	cc.K = c.K
+	cc.Seed = c.Seed
+	cc.MaxDigestsPerGossip = c.DigestCap()
+	cc.BloomBits = c.ScaledBloomBits()
+	cc.Workers = c.Workers
+	cc.Latency = c.Latency
 	return cc
 }
+
+// CoreConfig builds a protocol configuration with uniform storage c.
+func (w *World) CoreConfig(c int) core.Config { return w.Cfg.CoreConfig(c) }
 
 // HeteroConfig builds a protocol configuration with Poisson-distributed
 // storage capacities (Table 1), scaled to s via ScaledClass.

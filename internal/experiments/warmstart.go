@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"p3q/internal/core"
+	"p3q/internal/trace"
+)
+
+// SharedSnapshot is the experiments-side consumer of the checkpoint
+// subsystem: a scenario family converges (or seeds) one engine, captures it
+// once, and forks every row — different query workloads, churn patterns,
+// latency models, worker counts — from the shared snapshot instead of
+// re-converging per row. Forked engines continue byte-for-byte as the
+// captured engine would (the checkpoint determinism contract), so tables
+// are unchanged; only the wall clock is.
+//
+// Forks share the captured engine's dataset object. That is safe for rows
+// that never mutate profiles (none of the eager-mode sweeps do); a row that
+// applies trace.ApplyChanges must restore with its own dataset via
+// core.Restore directly.
+type SharedSnapshot struct {
+	data []byte
+	ds   *trace.Dataset
+
+	coldBuild time.Duration // wall clock of the one cold build captured
+	snapTime  time.Duration // wall clock of taking the snapshot
+	forkTime  time.Duration // accumulated wall clock of all forks
+	forks     int
+}
+
+// NewSharedSnapshot captures a converged engine for forking. coldBuild is
+// the measured wall clock of building that engine from scratch; the savings
+// note reports fork cost against it.
+func NewSharedSnapshot(e *core.Engine, coldBuild time.Duration) (*SharedSnapshot, error) {
+	start := time.Now()
+	var buf bytes.Buffer
+	if err := e.Snapshot(&buf); err != nil {
+		return nil, err
+	}
+	return &SharedSnapshot{
+		data:      buf.Bytes(),
+		ds:        e.Dataset(),
+		coldBuild: coldBuild,
+		snapTime:  time.Since(start),
+	}, nil
+}
+
+// Fork restores an independent engine from the shared snapshot. The
+// configuration must match the captured engine's protocol parameters;
+// Workers and Latency may differ per row.
+func (s *SharedSnapshot) Fork(cc core.Config) (*core.Engine, error) {
+	start := time.Now()
+	e, err := core.Restore(bytes.NewReader(s.data), s.ds, cc)
+	if err != nil {
+		return nil, err
+	}
+	s.forkTime += time.Since(start)
+	s.forks++
+	return e, nil
+}
+
+// MustFork is Fork for experiment runners, whose signatures have no error
+// path; a failing fork is a programming error (mismatched configuration).
+func (s *SharedSnapshot) MustFork(cc core.Config) *core.Engine {
+	e, err := s.Fork(cc)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: warm-start fork failed: %v", err))
+	}
+	return e
+}
+
+// SavingsNote summarizes the measured wall clock of the warm-start scheme
+// versus rebuilding every row cold: n rows cost one cold build plus one
+// snapshot plus n forks, against n cold builds.
+func (s *SharedSnapshot) SavingsNote(label string) string {
+	warm := s.coldBuild + s.snapTime + s.forkTime
+	cold := time.Duration(s.forks) * s.coldBuild
+	return fmt.Sprintf(
+		"[%s: warm-start — converged once in %s, %d fork(s) in %s (snapshot %s, %s/fork); %s total vs ~%s cold-started, saving ~%s]",
+		label, s.coldBuild.Round(time.Millisecond), s.forks, s.forkTime.Round(time.Millisecond),
+		s.snapTime.Round(time.Millisecond), s.perFork().Round(time.Millisecond),
+		warm.Round(time.Millisecond), cold.Round(time.Millisecond), (cold - warm).Round(time.Millisecond))
+}
+
+func (s *SharedSnapshot) perFork() time.Duration {
+	if s.forks == 0 {
+		return 0
+	}
+	return s.forkTime / time.Duration(s.forks)
+}

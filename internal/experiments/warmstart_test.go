@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"p3q/internal/core"
+	"p3q/internal/sim"
+)
+
+// TestSharedSnapshotForkMatchesColdBuild pins the warm-start contract the
+// latency and expansion experiments rely on: a row forked from the shared
+// snapshot produces exactly what the cold-built row produced — same query
+// results, same traffic counters — including under a latency model the
+// snapshot was not taken with.
+func TestSharedSnapshotForkMatchesColdBuild(t *testing.T) {
+	cfg := Default()
+	cfg.Users = 120
+	cfg.Queries = 25
+	cfg.Cycles = 6
+	cfg.Workers = 2
+	w := NewWorld(cfg)
+
+	start := time.Now()
+	base := w.SeededEngine(w.CoreConfig(10))
+	snap, err := NewSharedSnapshot(base, time.Since(start))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	row := func(e *core.Engine) ([][]int, sim.Traffic) {
+		for _, q := range w.Queries {
+			e.IssueQuery(q)
+		}
+		e.RunEager(cfg.Cycles * 4)
+		var results [][]int
+		for _, qr := range e.Queries() {
+			var flat []int
+			for _, r := range qr.Results() {
+				flat = append(flat, int(r.Item), r.Score)
+			}
+			results = append(results, flat)
+		}
+		return results, e.Network().Total()
+	}
+
+	cc := w.CoreConfig(10)
+	cc.Latency = sim.FixedLatency(50 * time.Millisecond) // differs from the snapshot's (nil) model
+	coldResults, coldTraffic := row(w.SeededEngine(cc))
+	forkResults, forkTraffic := row(snap.MustFork(cc))
+
+	if forkTraffic != coldTraffic {
+		t.Fatalf("forked row traffic %+v diverged from cold-built row %+v", forkTraffic, coldTraffic)
+	}
+	if len(forkResults) != len(coldResults) {
+		t.Fatalf("forked row ran %d queries, cold row %d", len(forkResults), len(coldResults))
+	}
+	for i := range coldResults {
+		if len(forkResults[i]) != len(coldResults[i]) {
+			t.Fatalf("query %d: forked results differ in length", i)
+		}
+		for j := range coldResults[i] {
+			if forkResults[i][j] != coldResults[i][j] {
+				t.Fatalf("query %d: forked results diverged from cold build", i)
+			}
+		}
+	}
+	if note := snap.SavingsNote("test"); note == "" {
+		t.Fatal("empty savings note")
+	}
+}

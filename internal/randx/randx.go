@@ -42,6 +42,12 @@ func (s *Source) Int63() int64 { return int64(s.next() >> 1) }
 // Seed implements rand.Source.
 func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
 
+// State exposes the source's internal splitmix64 state for checkpointing.
+// NewSource(state) reconstructs a source that continues the exact same
+// stream: the constructor stores its seed verbatim, so save/restore is a
+// plain round trip through State.
+func (s *Source) State() uint64 { return s.state }
+
 // Split derives an independent child source from this source and a label.
 // Two children split with different labels from the same parent state are
 // statistically independent; splitting does not advance the parent, so the

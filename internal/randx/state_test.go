@@ -1,0 +1,25 @@
+package randx
+
+import "testing"
+
+func TestStateRoundTripContinuesStream(t *testing.T) {
+	s := NewSource(42)
+	for i := 0; i < 10; i++ {
+		s.Uint64()
+	}
+	resumed := NewSource(s.State())
+	for i := 0; i < 20; i++ {
+		if a, b := s.Uint64(), resumed.Uint64(); a != b {
+			t.Fatalf("draw %d diverged: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestStateRoundTripPreservesSplits(t *testing.T) {
+	s := NewSource(7)
+	s.Uint64()
+	resumed := NewSource(s.State())
+	if a, b := s.Split(99).Uint64(), resumed.Split(99).Uint64(); a != b {
+		t.Fatalf("split streams diverged after state round trip: %d vs %d", a, b)
+	}
+}

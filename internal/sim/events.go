@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -53,6 +54,54 @@ func (q *EventQueue) Schedule(at time.Duration, payload any) {
 	q.heap = append(q.heap, Event{At: at, Seq: q.nextSeq, Payload: payload})
 	q.nextSeq++
 	q.up(len(q.heap) - 1)
+}
+
+// NextSeq returns the scheduling counter: the Seq the next Schedule call
+// will assign. Checkpointing persists it so a restored queue continues the
+// original tie-break sequence.
+func (q *EventQueue) NextSeq() uint64 { return q.nextSeq }
+
+// Pending returns a copy of the pending events sorted by (At, Seq) — the
+// exact order PopUntil would drain them in. Checkpointing serializes this
+// view; payloads are shared with the queue, not cloned.
+func (q *EventQueue) Pending() []Event {
+	out := make([]Event, len(q.heap))
+	copy(out, q.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}
+
+// RestorePending replaces the queue's contents from a checkpoint: events
+// must be sorted by (At, Seq) with strictly increasing Seq values below
+// nextSeq, as produced by Pending plus the queue's scheduling counter. A
+// (At, Seq)-sorted slice already satisfies the min-heap invariant, so the
+// restored queue pops in exactly the captured order and later Schedule
+// calls continue the original Seq sequence.
+func (q *EventQueue) RestorePending(events []Event, nextSeq uint64) error {
+	seen := make(map[uint64]struct{}, len(events))
+	for i, ev := range events {
+		if ev.Seq >= nextSeq {
+			return fmt.Errorf("sim: RestorePending event %d has Seq %d >= nextSeq %d", i, ev.Seq, nextSeq)
+		}
+		if _, dup := seen[ev.Seq]; dup {
+			return fmt.Errorf("sim: RestorePending duplicate Seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = struct{}{}
+		if i > 0 {
+			prev := events[i-1]
+			if ev.At < prev.At || (ev.At == prev.At && ev.Seq < prev.Seq) {
+				return fmt.Errorf("sim: RestorePending events not in (At, Seq) order at index %d", i)
+			}
+		}
+	}
+	q.heap = append(q.heap[:0], events...)
+	q.nextSeq = nextSeq
+	return nil
 }
 
 // NextAt returns the due time of the earliest pending event.

@@ -251,3 +251,15 @@ func (nw *Network) Total() Traffic { return nw.total }
 
 // NodeTraffic returns a copy of the traffic sent by one node.
 func (nw *Network) NodeTraffic(u NodeID) Traffic { return nw.perNode[u] }
+
+// RestoreTraffic overwrites the network's traffic counters — the global
+// total and every per-node counter — from a checkpoint. perNode must carry
+// exactly one counter per node.
+func (nw *Network) RestoreTraffic(total Traffic, perNode []Traffic) error {
+	if len(perNode) != len(nw.perNode) {
+		return fmt.Errorf("sim: RestoreTraffic got %d per-node counters for %d nodes", len(perNode), len(nw.perNode))
+	}
+	nw.total = total
+	copy(nw.perNode, perNode)
+	return nil
+}

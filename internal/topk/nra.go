@@ -1,6 +1,7 @@
 package topk
 
 import (
+	"fmt"
 	"sort"
 
 	"p3q/internal/tagging"
@@ -227,6 +228,78 @@ func (n *NRA) rebuildRanking() {
 		}
 		return a.item < b.item
 	})
+}
+
+// NRAState is the serializable scan state of an incremental NRA operator:
+// every absorbed list with its cursor and every candidate with its
+// worst-case accumulation. The derived ranking (best-case bounds, sorted
+// candidate order) is a pure function of this state and is rebuilt by
+// RestoreNRA, so it is deliberately not part of the snapshot.
+type NRAState struct {
+	K     int
+	Lists []NRAListState
+	Cands []NRACandidateState
+}
+
+// NRAListState is one absorbed partial result list and its scan cursor.
+type NRAListState struct {
+	Entries []Entry
+	Pos     int
+}
+
+// NRACandidateState is one candidate's accumulated state. SeenIn holds the
+// indexes of the lists the item has been seen in, in scan order.
+type NRACandidateState struct {
+	Item   tagging.ItemID
+	Worst  int
+	SeenIn []int
+}
+
+// State captures the operator for checkpointing. Candidates are emitted in
+// ascending item order so the snapshot is deterministic; list entry slices
+// are shared with the operator, not cloned.
+func (n *NRA) State() NRAState {
+	st := NRAState{K: n.k}
+	for _, l := range n.lists {
+		st.Lists = append(st.Lists, NRAListState{Entries: l.entries, Pos: l.pos})
+	}
+	items := make([]tagging.ItemID, 0, len(n.cands))
+	for it := range n.cands {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, it := range items {
+		c := n.cands[it]
+		st.Cands = append(st.Cands, NRACandidateState{Item: c.item, Worst: c.worst, SeenIn: c.seenIn})
+	}
+	return st
+}
+
+// RestoreNRA rebuilds an operator from a captured state, validating cursor
+// and list-index bounds, and recomputes the derived ranking so TopK is
+// immediately consistent. Identical future Run/Drain calls on the restored
+// operator produce byte-for-byte the results of the original.
+func RestoreNRA(st NRAState) (*NRA, error) {
+	n := NewNRA(st.K)
+	for i, l := range st.Lists {
+		if l.Pos < 0 || l.Pos > len(l.Entries) {
+			return nil, fmt.Errorf("topk: restored list %d has cursor %d outside [0, %d]", i, l.Pos, len(l.Entries))
+		}
+		n.lists = append(n.lists, &scanList{entries: l.Entries, pos: l.Pos})
+	}
+	for _, c := range st.Cands {
+		if _, dup := n.cands[c.Item]; dup {
+			return nil, fmt.Errorf("topk: restored candidate %d duplicated", c.Item)
+		}
+		for _, li := range c.SeenIn {
+			if li < 0 || li >= len(n.lists) {
+				return nil, fmt.Errorf("topk: restored candidate %d seen in out-of-range list %d", c.Item, li)
+			}
+		}
+		n.cands[c.Item] = &candidate{item: c.Item, worst: c.Worst, seenIn: c.SeenIn}
+	}
+	n.rebuildRanking()
+	return n, nil
 }
 
 // stopConditionMet implements the loop guard of Algorithm 4 (negated): stop

@@ -149,6 +149,19 @@ func NewGeoLatency(zones int, intra, inter time.Duration) GeoLatency {
 // to converge organically, or SeedIdealNetworks to start converged.
 func NewEngine(ds *Dataset, cfg Config) *Engine { return core.New(ds, cfg) }
 
+// RestoreEngine rebuilds an engine from a checkpoint written by
+// Engine.Snapshot. With ds == nil the dataset is materialized from the
+// checkpoint's embedded profile logs; with a dataset (the deterministically
+// regenerated base trace), its profiles are validated as prefixes of the
+// checkpointed logs and fast-forwarded in place — the converge-once,
+// fork-many path. The restored engine continues byte-for-byte as the
+// snapshotted engine would, for any Config.Workers value and under any
+// Config.Latency model; all other protocol parameters must match the
+// snapshotting configuration.
+func RestoreEngine(r io.Reader, ds *Dataset, cfg Config) (*Engine, error) {
+	return core.Restore(r, ds, cfg)
+}
+
 // Workload substrate types.
 type (
 	// Dataset is a set of user profiles over a shared item/tag space.
