@@ -1,0 +1,196 @@
+// Command p3qlint runs the determinism-linter suite (internal/lint) over
+// packages of this module. It is usable two ways:
+//
+// Standalone, from anywhere in the repository:
+//
+//	go run ./cmd/p3qlint ./...
+//	go run ./cmd/p3qlint ./internal/core p3q/internal/sim
+//
+// As a vet tool, speaking the cmd/go unitchecker protocol (the go command
+// hands the tool a *.cfg file per package and export data for its
+// imports):
+//
+//	go build -o /tmp/p3qlint ./cmd/p3qlint
+//	go vet -vettool=/tmp/p3qlint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p3q/internal/lint"
+	"p3q/internal/lint/load"
+)
+
+const module = "p3q"
+
+func main() {
+	args := os.Args[1:]
+
+	// The go command interrogates a vet tool before use: -V=full must
+	// print an identity line, -flags the JSON list of tool flags.
+	rest := args[:0:0]
+	rest = append(rest, args...)
+	for len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
+		switch {
+		case strings.HasPrefix(rest[0], "-V"):
+			// The go command keys its vet-result cache on this line, so it
+			// must change whenever the tool's behaviour does: stamp it with
+			// a content hash of the running binary, like the x/tools
+			// unitchecker.
+			fmt.Printf("%s version p3q-%s\n", filepath.Base(os.Args[0]), selfHash())
+			return
+		case rest[0] == "-flags":
+			fmt.Println("[]")
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "p3qlint: unknown flag %s\n", rest[0])
+			os.Exit(2)
+		}
+	}
+
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(unitcheck(rest[0]))
+	}
+	os.Exit(standalone(rest))
+}
+
+// selfHash fingerprints the running executable for the -V=full identity
+// line. A stable fallback keeps `go run`-style invocations working even if
+// the binary cannot be re-read.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "devel"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "devel"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "devel"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+// standalone expands the package patterns against the enclosing module,
+// loads and type-checks them with the offline loader, and prints findings.
+func standalone(patterns []string) int {
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: p3qlint <packages>   (e.g. p3qlint ./...)")
+		return 2
+	}
+	root, err := load.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3qlint: %v\n", err)
+		return 2
+	}
+	paths, err := expand(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3qlint: %v\n", err)
+		return 2
+	}
+	loader := load.New(load.ModuleRoot(module, root))
+	var pkgs []*load.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p3qlint: %v\n", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := lint.Check(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p3qlint: %v\n", err)
+		return 2
+	}
+	for _, f := range findings {
+		rel := f.File
+		if r, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(r, "..") {
+			rel = r
+		}
+		fmt.Printf("%s:%d:%d: %s [%s]\n", rel, f.Line, f.Col, f.Message, f.Analyzer)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// expand resolves go-tool-style package patterns (./..., ./dir, import
+// paths) to module import paths, preserving order and deduplicating.
+func expand(root string, patterns []string) ([]string, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	// relImport maps a filesystem-relative pattern ("./x") to an import
+	// path by locating it inside the module tree.
+	relImport := func(rel string) (string, error) {
+		abs, err := filepath.Abs(filepath.Join(cwd, rel))
+		if err != nil {
+			return "", err
+		}
+		r, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(r, "..") {
+			return "", fmt.Errorf("pattern %q is outside module %s", rel, module)
+		}
+		if r == "." {
+			return module, nil
+		}
+		return module + "/" + filepath.ToSlash(r), nil
+	}
+
+	seen := map[string]bool{}
+	var out []string
+	add := func(paths ...string) {
+		for _, p := range paths {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(pat, "/...")
+			var prefix string
+			if base == "." || strings.HasPrefix(base, "./") {
+				prefix, err = relImport(base)
+			} else {
+				prefix = base
+			}
+			if err != nil {
+				return nil, err
+			}
+			all, err := load.List(module, root)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range all {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+				}
+			}
+		case pat == "." || strings.HasPrefix(pat, "./"):
+			p, err := relImport(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		default:
+			add(pat)
+		}
+	}
+	return out, nil
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"time"
 
+	"p3q/internal/hostclock"
 	"p3q/internal/sim"
 	"p3q/internal/tagging"
 	"p3q/internal/topk"
@@ -95,7 +96,7 @@ func (e *Engine) eagerCycleAsync() {
 	e.cycleSeq++
 	pairs := e.eagerPairs()
 	if len(pairs) > 0 {
-		start := time.Now()
+		sw := hostclock.Start()
 		e.forEachNode(func(n *Node) {
 			n.digest()
 			n.checkEvalCache()
@@ -104,15 +105,15 @@ func (e *Engine) eagerCycleAsync() {
 		e.forEachIndex(len(pairs), func(i int) {
 			plans[i] = e.planEagerGossip(pairs[i], seq)
 		})
-		e.planDur += time.Since(start)
-		start = time.Now()
+		e.planDur += sw.Elapsed()
+		sw = hostclock.Start()
 		e.commitSharded(func(sh *commitShard) {
 			for _, p := range plans {
 				e.commitEagerGossipShardAsync(p, sh)
 			}
 		})
 		e.scheduleEagerGossips(plans, seq, t0)
-		e.commitDur += time.Since(start)
+		e.commitDur += sw.Elapsed()
 	}
 	e.pumpEvents(t1)
 	e.endCycleAsync(seq)
@@ -243,6 +244,7 @@ func (e *Engine) replayFrozen() {
 		return
 	}
 	ids := make([]tagging.UserID, 0, len(e.frozen))
+	//p3q:orderinvariant collects online keys into ids, which is sorted before use
 	for id := range e.frozen {
 		if e.net.Online(id) {
 			ids = append(ids, id)

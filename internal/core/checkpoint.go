@@ -444,6 +444,7 @@ func (e *Engine) writeNode(cw *ckpt.Writer, n *Node) {
 
 	cw.U32(uint32(n.evalVersion))
 	evalIDs := make([]tagging.UserID, 0, len(n.evaluated))
+	//p3q:orderinvariant collects keys into evalIDs, which is sorted before use
 	for id := range n.evaluated {
 		evalIDs = append(evalIDs, id)
 	}
@@ -478,6 +479,7 @@ func (e *Engine) writeNode(cw *ckpt.Writer, n *Node) {
 	}
 
 	qids := make([]uint64, 0, len(n.branches))
+	//p3q:orderinvariant collects keys into qids, which is sorted before use
 	for qid := range n.branches {
 		qids = append(qids, qid)
 	}
@@ -740,6 +742,7 @@ func (e *Engine) writeEvents(cw *ckpt.Writer) {
 	}
 
 	targets := make([]tagging.UserID, 0, len(e.frozen))
+	//p3q:orderinvariant collects keys into targets, which is sorted before use
 	for id := range e.frozen {
 		targets = append(targets, id)
 	}
@@ -831,10 +834,15 @@ func (rs *restorer) readEagerEvent() *eagerEvent {
 func (rs *restorer) crossCheck() error {
 	e := rs.e
 	for _, n := range e.nodes {
+		bad, found := uint64(0), false
+		//p3q:orderinvariant min-reduction: the smallest unknown query ID wins regardless of visit order
 		for qid := range n.branches {
-			if _, ok := e.queries[qid]; !ok {
-				return fmt.Errorf("checkpoint: node %d holds a branch of unknown query %d", n.id, qid)
+			if _, ok := e.queries[qid]; !ok && (!found || qid < bad) {
+				bad, found = qid, true
 			}
+		}
+		if found {
+			return fmt.Errorf("checkpoint: node %d holds a branch of unknown query %d", n.id, bad)
 		}
 	}
 	if n := len(e.queryOrder); n > 0 && e.queryOrder[n-1] >= e.nextQueryID {
@@ -907,6 +915,7 @@ func (rs *restorer) readUserList(max int) []tagging.UserID {
 // order of their own; the canonical order keeps snapshots deterministic).
 func writeUserSet(cw *ckpt.Writer, set map[tagging.UserID]struct{}) {
 	ids := make([]tagging.UserID, 0, len(set))
+	//p3q:orderinvariant collects keys into ids, which is sorted before use
 	for id := range set {
 		ids = append(ids, id)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p3q/internal/gossip"
+	"p3q/internal/hostclock"
 	"p3q/internal/randx"
 	"p3q/internal/sim"
 	"p3q/internal/similarity"
@@ -232,7 +233,7 @@ func (e *Engine) LazyCycle() {
 	seq := e.cycleSeq
 	e.cycleSeq++
 
-	start := time.Now()
+	sw := hostclock.Start()
 	// Normalize per-node caches (own digests, evaluated memos, memoized
 	// gossip-age orderings) so the planners below only hit read-only paths.
 	// Each unit of work touches one node's state exclusively, so this
@@ -250,8 +251,8 @@ func (e *Engine) LazyCycle() {
 			vplans[n.id] = e.planView(n, seq)
 		}
 	})
-	e.planDur += time.Since(start)
-	start = time.Now()
+	e.planDur += sw.Elapsed()
+	sw = hostclock.Start()
 	e.commitSharded(func(sh *commitShard) {
 		for _, i := range order {
 			if e.net.Online(e.nodes[i].id) {
@@ -259,19 +260,19 @@ func (e *Engine) LazyCycle() {
 			}
 		}
 	})
-	e.commitDur += time.Since(start)
+	e.commitDur += sw.Elapsed()
 
 	// Round 2: top-layer personal network gossip plus random-view
 	// evaluation, planned against the round-1-committed views.
-	start = time.Now()
+	sw = hostclock.Start()
 	tplans := make([]*topPlan, len(e.nodes))
 	e.forEachNode(func(n *Node) {
 		if e.net.Online(n.id) {
 			tplans[n.id] = e.planTop(n, seq)
 		}
 	})
-	e.planDur += time.Since(start)
-	start = time.Now()
+	e.planDur += sw.Elapsed()
+	sw = hostclock.Start()
 	e.commitSharded(func(sh *commitShard) {
 		for _, i := range order {
 			if e.net.Online(e.nodes[i].id) {
@@ -279,7 +280,7 @@ func (e *Engine) LazyCycle() {
 			}
 		}
 	})
-	e.commitDur += time.Since(start)
+	e.commitDur += sw.Elapsed()
 	// The lazy cycle occupies one LazyPeriod of virtual time; in-flight
 	// eager deliveries falling inside the window arrive during it.
 	t1 := e.now + e.cfg.LazyPeriod

@@ -238,6 +238,7 @@ func Fig10(cfg Config) []*metrics.Table {
 				return 100
 			}
 			done := 0
+			//p3q:orderinvariant counts satisfied entries; a sum is commutative
 			for u, added := range newNeighbours {
 				all := true
 				for _, nb := range added {

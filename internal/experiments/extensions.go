@@ -3,10 +3,10 @@ package experiments
 import (
 	"fmt"
 	"os"
-	"time"
 
 	"p3q/internal/core"
 	"p3q/internal/expansion"
+	"p3q/internal/hostclock"
 	"p3q/internal/metrics"
 	"p3q/internal/tagging"
 	"p3q/internal/topk"
@@ -71,9 +71,9 @@ func Expansion(cfg Config) []*metrics.Table {
 	// Converge once, fork per variant: both variants start from the same
 	// snapshotted seeded engine instead of re-seeding (the forked state is
 	// byte-for-byte the cold-built state, so the table is unchanged).
-	start := time.Now()
+	sw := hostclock.Start()
 	base := w.SeededEngine(w.CoreConfig(10))
-	snap, err := NewSharedSnapshot(base, time.Since(start))
+	snap, err := NewSharedSnapshot(base, sw.Elapsed())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: expansion warm-start snapshot failed: %v", err))
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p3q/internal/core"
+	"p3q/internal/hostclock"
 	"p3q/internal/metrics"
 	"p3q/internal/sim"
 	"p3q/internal/topk"
@@ -41,9 +42,9 @@ func Latency(cfg Config) []*metrics.Table {
 	// latency row forks from it instead of re-seeding. The forked state is
 	// byte-for-byte the cold-built state (the checkpoint contract), so the
 	// rows are unchanged; the savings note reports the wall clock spared.
-	start := time.Now()
+	sw := hostclock.Start()
 	base := w.SeededEngine(w.CoreConfig(10))
-	snap, err := NewSharedSnapshot(base, time.Since(start))
+	snap, err := NewSharedSnapshot(base, sw.Elapsed())
 	if err != nil {
 		panic(fmt.Sprintf("experiments: latency warm-start snapshot failed: %v", err))
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"p3q/internal/core"
+	"p3q/internal/hostclock"
 	"p3q/internal/trace"
 )
 
@@ -35,7 +36,7 @@ type SharedSnapshot struct {
 // the measured wall clock of building that engine from scratch; the savings
 // note reports fork cost against it.
 func NewSharedSnapshot(e *core.Engine, coldBuild time.Duration) (*SharedSnapshot, error) {
-	start := time.Now()
+	sw := hostclock.Start()
 	var buf bytes.Buffer
 	if err := e.Snapshot(&buf); err != nil {
 		return nil, err
@@ -44,7 +45,7 @@ func NewSharedSnapshot(e *core.Engine, coldBuild time.Duration) (*SharedSnapshot
 		data:      buf.Bytes(),
 		ds:        e.Dataset(),
 		coldBuild: coldBuild,
-		snapTime:  time.Since(start),
+		snapTime:  sw.Elapsed(),
 	}, nil
 }
 
@@ -52,12 +53,12 @@ func NewSharedSnapshot(e *core.Engine, coldBuild time.Duration) (*SharedSnapshot
 // configuration must match the captured engine's protocol parameters;
 // Workers and Latency may differ per row.
 func (s *SharedSnapshot) Fork(cc core.Config) (*core.Engine, error) {
-	start := time.Now()
+	sw := hostclock.Start()
 	e, err := core.Restore(bytes.NewReader(s.data), s.ds, cc)
 	if err != nil {
 		return nil, err
 	}
-	s.forkTime += time.Since(start)
+	s.forkTime += sw.Elapsed()
 	s.forks++
 	return e, nil
 }

@@ -1,0 +1,25 @@
+// Package hostclock quarantines host wall-clock readings for the
+// deterministic engine packages. The wallclock analyzer (internal/lint)
+// bans direct time.Now/time.Since there, because host time leaking into
+// engine state breaks the byte-for-byte fingerprint contract; profiling,
+// however, legitimately needs the host clock. A Stopwatch from this
+// package is the sanctioned way to measure elapsed host time: importing
+// hostclock is greppable, reviewable, and carries the contract that the
+// measured durations feed only observability (phase-duration counters,
+// benchmark reports) — never simulation-visible state.
+package hostclock
+
+import "time"
+
+// Stopwatch measures elapsed host time from its Start.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// Start returns a running stopwatch.
+func Start() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Elapsed returns the host time elapsed since Start. The value is
+// observability-only by contract: it must not influence engine state,
+// scheduling decisions, or anything else a fingerprint can see.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t0) }

@@ -1,0 +1,19 @@
+package hostclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchElapsed(t *testing.T) {
+	sw := Start()
+	time.Sleep(time.Millisecond)
+	d1 := sw.Elapsed()
+	if d1 <= 0 {
+		t.Fatalf("Elapsed = %v, want > 0", d1)
+	}
+	time.Sleep(time.Millisecond)
+	if d2 := sw.Elapsed(); d2 <= d1 {
+		t.Fatalf("Elapsed not monotonic: %v then %v", d1, d2)
+	}
+}

@@ -1,0 +1,56 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer is a named check,
+// a Pass hands it one type-checked package, and diagnostics flow through a
+// caller-supplied Report hook.
+//
+// The repository vendors no third-party modules, so the real x/tools
+// framework is unavailable; this package mirrors the subset of its API the
+// p3qlint suite needs (Analyzer.Run over a Pass with Fset/Files/Pkg/
+// TypesInfo), keeping the analyzers themselves source-compatible with a
+// future migration to the upstream framework.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the p3qlint
+	// command line. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the help text: first line is a one-sentence summary.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// Pass.Report and returns an error only for internal failures (a
+	// finding is a diagnostic, not an error).
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass provides one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // package syntax, in deterministic (file name) order
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

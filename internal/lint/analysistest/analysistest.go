@@ -1,0 +1,151 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks its diagnostics against expectations
+// written in the fixture sources, mirroring the conventions of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	time.Now() // want "reads the host clock"
+//
+// declares that a diagnostic matching the regular expression is expected
+// on that line; several quoted patterns declare several diagnostics. One
+// extension: because a //p3q: directive comment occupies its entire line,
+// an expectation for a diagnostic anchored at the directive itself is
+// written on the following line as
+//
+//	//p3q:orderinvariant
+//	// want-above "missing a reason"
+//
+// Fixture import paths resolve against the testdata tree first and the
+// enclosing module second, so fixtures may live under real engine package
+// paths (where the analyzers are in scope) and still import real
+// packages like p3q/internal/randx.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"p3q/internal/lint/analysis"
+	"p3q/internal/lint/load"
+)
+
+// expectation is one expected diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want(-above)?((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// Run loads each fixture package path from testdata/src (falling back to
+// the module for imports), applies the analyzer, and reports any mismatch
+// between actual diagnostics and // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	moduleRoot, err := load.FindModuleRoot(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.New(load.TreeRoot(srcRoot), load.ModuleRoot("p3q", moduleRoot))
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		expects, err := parseExpectations(pkg)
+		if err != nil {
+			t.Errorf("fixture %s: %v", path, err)
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d analysis.Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			for _, e := range expects {
+				if e.matched || e.file != pos.Filename || e.line != pos.Line {
+					continue
+				}
+				if e.pattern.MatchString(d.Message) {
+					e.matched = true
+					return
+				}
+			}
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+		if err := a.Run(pass); err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+		}
+		for _, e := range expects {
+			if !e.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+			}
+		}
+	}
+}
+
+// parseExpectations scans the fixture sources for // want comments. It
+// reads the raw file bytes rather than the AST so that expectations work
+// inside directive comments and on any line.
+func parseExpectations(pkg *load.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		line := 0
+		for _, raw := range splitLines(string(src)) {
+			line++
+			m := wantRE.FindStringSubmatch(raw)
+			if m == nil {
+				continue
+			}
+			target := line
+			if m[1] == "-above" {
+				target = line - 1
+			}
+			for _, q := range quotedRE.FindAllString(m[2], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", name, line, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", name, line, pat, err)
+				}
+				out = append(out, &expectation{file: name, line: target, pattern: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitLines splits keeping it simple: \n terminated, final fragment kept.
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}

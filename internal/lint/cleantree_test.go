@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/load"
+)
+
+// TestRepoLintClean runs the full p3qlint suite over every package of the
+// module and requires zero findings: the determinism contracts hold
+// everywhere, and every //p3q: annotation in the tree is live and
+// justified. This is the same check CI runs via `go run ./cmd/p3qlint
+// ./...`.
+func TestRepoLintClean(t *testing.T) {
+	root, err := load.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := load.List("p3q", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := load.New(load.ModuleRoot("p3q", root))
+	var pkgs []*load.Package
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := Check(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+}

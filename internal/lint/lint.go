@@ -1,0 +1,122 @@
+// Package lint is the p3qlint determinism-linter suite: four static
+// analyzers that enforce, at go-vet time, the ordering, clock, and RNG
+// contracts ARCHITECTURE.md otherwise states only in prose. The dynamic
+// half of the safety net — the Workers=1-vs-N fingerprint tests and the
+// resume-equals-uninterrupted checkpoint tests — catches a determinism
+// violation only after it is written and only on an exercised path; these
+// analyzers reject the idioms that cause them before the code runs.
+//
+// The analyzers:
+//
+//   - maporder: no `range` over a map inside the deterministic engine
+//     packages, unless annotated `//p3q:orderinvariant <reason>` (for
+//     provably commutative loop bodies). Annotations are themselves
+//     validated: a stale or reasonless annotation is an error.
+//   - wallclock: no time.Now/Since/Sleep and no global math/rand or
+//     crypto/rand in the deterministic packages; use the virtual clock
+//     and internal/randx split streams.
+//   - rngdiscipline: a randx.Source that crosses into a spawned goroutine
+//     must pass through .Split(label) first.
+//   - stickyerr: the codec packages (internal/checkpoint, internal/trace)
+//     discard no error results and perform raw stream I/O only inside
+//     sticky-error carrier methods.
+//
+// Run the suite with `go run ./cmd/p3qlint ./...` or as
+// `go vet -vettool=$(which p3qlint) ./...`.
+package lint
+
+import (
+	"sort"
+	"strings"
+
+	"p3q/internal/lint/analysis"
+	"p3q/internal/lint/load"
+)
+
+// DeterministicScopes lists the package paths (each covering its subtree)
+// under the byte-for-byte determinism contract: everything that executes
+// between a seed and an engine fingerprint. maporder, wallclock, and
+// rngdiscipline only report inside these scopes.
+var DeterministicScopes = []string{
+	"p3q/internal/core",
+	"p3q/internal/gossip",
+	"p3q/internal/sim",
+	"p3q/internal/experiments",
+	"p3q/internal/checkpoint",
+}
+
+// CodecScopes lists the packages under the sticky-error codec discipline
+// enforced by stickyerr.
+var CodecScopes = []string{
+	"p3q/internal/checkpoint",
+	"p3q/internal/trace",
+}
+
+// inScope reports whether pkg path is one of the scopes or below one.
+func inScope(path string, scopes []string) bool {
+	for _, s := range scopes {
+		if path == s || strings.HasPrefix(path, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyzers returns the full p3qlint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{MapOrder, WallClock, RNGDiscipline, StickyErr}
+}
+
+// Finding is one diagnostic located in a file, ready for printing.
+type Finding struct {
+	Analyzer string
+	File     string
+	Line     int
+	Col      int
+	Message  string
+}
+
+// Check runs the analyzers over the packages and returns all findings
+// sorted by file, line, column, and analyzer name.
+func Check(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				findings = append(findings, Finding{
+					Analyzer: name,
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

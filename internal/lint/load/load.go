@@ -1,0 +1,255 @@
+// Package load type-checks packages of this module (and GOPATH-style
+// fixture trees) without the go/packages machinery, which lives in
+// golang.org/x/tools and is unavailable here. Local import paths are
+// resolved against an ordered list of roots — analyzer fixtures register
+// their testdata tree ahead of the module root, so a fixture package can
+// shadow a real path while still importing real sibling packages — and
+// everything else (the standard library) is delegated to the compiler's
+// source importer, which works offline from GOROOT.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the sources were read from
+	Fset  *token.FileSet
+	Files []*ast.File // sorted by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Root maps a class of import paths to a directory.
+type Root struct {
+	module string // module path prefix; empty means GOPATH-style (any path)
+	dir    string
+}
+
+// ModuleRoot resolves the module path itself and every path below it to
+// the module directory tree (module/x/y -> dir/x/y).
+func ModuleRoot(module, dir string) Root { return Root{module: module, dir: dir} }
+
+// TreeRoot resolves any import path p to dir/p, the layout of a
+// testdata/src fixture tree (and of a GOPATH).
+func TreeRoot(dir string) Root { return Root{dir: dir} }
+
+// resolve maps path to a source directory, or ok=false if this root does
+// not claim the path.
+func (r Root) resolve(path string) (string, bool) {
+	if r.module == "" {
+		return filepath.Join(r.dir, filepath.FromSlash(path)), true
+	}
+	if path == r.module {
+		return r.dir, true
+	}
+	if rest, ok := strings.CutPrefix(path, r.module+"/"); ok {
+		return filepath.Join(r.dir, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Loader loads and caches type-checked packages. It implements
+// types.Importer, so loaded packages can import each other.
+type Loader struct {
+	Fset     *token.FileSet
+	roots    []Root
+	std      types.Importer
+	pkgs     map[string]*Package
+	checking map[string]bool
+}
+
+// New returns a Loader resolving local paths against the given roots, in
+// order (first root claiming an existing directory wins).
+func New(roots ...Root) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		roots:    roots,
+		std:      importer.ForCompiler(fset, "source", nil),
+		pkgs:     map[string]*Package{},
+		checking: map[string]bool{},
+	}
+}
+
+// dirFor locates the source directory for a local import path, trying the
+// roots in order. ok is false when no root claims the path (the path is
+// then assumed to be standard library).
+func (l *Loader) dirFor(path string) (string, bool) {
+	for _, r := range l.roots {
+		dir, claimed := r.resolve(path)
+		if !claimed {
+			continue
+		}
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// hasGoFiles reports whether dir contains at least one non-test Go file.
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Load returns the type-checked package for an import path, loading it
+// (and its local dependencies) on first use.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("load: no root provides package %q", path)
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	names, err := goFileNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no buildable Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	p := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// Import implements types.Importer: local paths load through this Loader,
+// everything else falls through to the standard library source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, local := l.dirFor(path); local {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// goFileNames lists the non-test Go files of dir that match the current
+// build context (tags, GOOS/GOARCH suffixes), sorted.
+func goFileNames(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, n); err != nil || !ok {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing a
+// go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("load: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// List walks the module tree rooted at dir and returns the import paths of
+// every package that contains buildable non-test Go files, sorted. It
+// skips testdata trees, hidden directories, and _-prefixed directories,
+// matching the pattern semantics of the go tool.
+func List(module, dir string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if !hasGoFiles(p) {
+			return nil
+		}
+		rel, err := filepath.Rel(dir, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, module)
+		} else {
+			paths = append(paths, module+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

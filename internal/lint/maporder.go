@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"p3q/internal/lint/analysis"
+)
+
+// directivePrefix introduces a p3qlint source annotation, in the style of
+// //go:build: no space after the slashes, verb, then a free-form reason.
+const directivePrefix = "//p3q:"
+
+// orderInvariantVerb marks a range-over-map whose body is commutative, so
+// iteration order provably cannot reach any engine-visible state.
+const orderInvariantVerb = "orderinvariant"
+
+// MapOrder flags `range` over a map in the deterministic engine packages:
+// Go randomizes map iteration order per run, so any map walk whose body
+// has order-dependent effects breaks the Workers=1-vs-N fingerprint
+// contract. Loops with genuinely commutative bodies are annotated
+// `//p3q:orderinvariant <reason>`; the analyzer validates the annotations
+// themselves (an annotation that is attached to no map range, lacks a
+// reason, or uses an unknown verb is an error in every package).
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map in deterministic packages unless annotated //p3q:orderinvariant <reason>",
+	Run:  runMapOrder,
+}
+
+// directive is one parsed //p3q: annotation.
+type directive struct {
+	comment *ast.Comment
+	verb    string
+	reason  string
+	used    bool
+}
+
+// parseDirectives extracts the //p3q: annotations of a file, keyed by the
+// comment group that carries them.
+func parseDirectives(f *ast.File) map[*ast.CommentGroup][]*directive {
+	out := map[*ast.CommentGroup][]*directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, reason, _ := strings.Cut(rest, " ")
+			out[cg] = append(out[cg], &directive{
+				comment: c,
+				verb:    verb,
+				reason:  strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}
+
+func runMapOrder(pass *analysis.Pass) error {
+	deterministic := inScope(pass.Pkg.Path(), DeterministicScopes)
+	for _, f := range pass.Files {
+		directives := parseDirectives(f)
+
+		// annotationFor finds an orderinvariant directive attached to the
+		// statement starting at line: in a comment group ending on the
+		// line above it, or in a trailing comment on the same line.
+		annotationFor := func(line int) *directive {
+			for cg, ds := range directives {
+				start := pass.Fset.Position(cg.Pos()).Line
+				end := pass.Fset.Position(cg.End()).Line
+				if end != line-1 && start != line {
+					continue
+				}
+				for _, d := range ds {
+					if d.verb == orderInvariantVerb {
+						return d
+					}
+				}
+			}
+			return nil
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key == nil {
+				// `for range m` binds nothing: the body runs len(m)
+				// times identically, so order cannot leak.
+				return true
+			}
+			line := pass.Fset.Position(rs.Pos()).Line
+			if d := annotationFor(line); d != nil {
+				d.used = true
+				if d.reason == "" {
+					pass.Reportf(d.comment.Pos(), "//p3q:%s directive is missing a reason (say why this loop body is order-invariant)", orderInvariantVerb)
+				}
+				return true
+			}
+			if deterministic {
+				pass.Reportf(rs.Pos(), "iteration over map %s in deterministic package %s: iterate in canonical order (sorted keys or index order), or annotate the loop //p3q:%s <reason> if its body is commutative", typeString(tv.Type), pass.Pkg.Path(), orderInvariantVerb)
+			}
+			return true
+		})
+
+		// Validate the annotations themselves, in every package: an
+		// annotation that suppresses nothing rots into false confidence
+		// the next time the loop below it changes.
+		for _, ds := range directives {
+			for _, d := range ds {
+				switch {
+				case d.verb != orderInvariantVerb:
+					pass.Reportf(d.comment.Pos(), "unknown directive //p3q:%s (the only recognized verb is %s)", d.verb, orderInvariantVerb)
+				case !d.used:
+					pass.Reportf(d.comment.Pos(), "stale //p3q:%s directive: no range-over-map starts on the line below it", orderInvariantVerb)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// typeString renders a type compactly for diagnostics.
+func typeString(t types.Type) string {
+	s := t.String()
+	// Shorten fully qualified p3q-internal names: the reader is inside
+	// the repo already.
+	s = strings.ReplaceAll(s, "p3q/internal/", "")
+	return s
+}

@@ -1,0 +1,21 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", MapOrder,
+		"p3q/internal/core/mofixture",
+		"example.com/outside")
+}
+
+// TestMapOrderAnnotations proves the annotations are validated: a stale
+// directive, a reasonless directive, and an unknown verb are themselves
+// diagnosed rather than silently tolerated.
+func TestMapOrderAnnotations(t *testing.T) {
+	analysistest.Run(t, "testdata", MapOrder,
+		"p3q/internal/core/annfixture")
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"p3q/internal/lint/analysis"
+)
+
+// RNGDiscipline flags a randx.Source that crosses a goroutine boundary
+// without an intervening .Split(label). A source is single-threaded
+// mutable state: two goroutines drawing from one source race on it, and
+// even with external synchronization the interleaving — and therefore
+// every later draw — would depend on the schedule. The per-cycle /
+// per-pair / per-message stream labels exist precisely so each spawned
+// unit of work derives its own independent stream; this analyzer rejects
+// the shortcut of reaching back into the shared one.
+//
+// Checked spawn sites: `go func(){...}()` closures, function values and
+// arguments of a plain `go f(...)` statement, and closures passed to a
+// method named Go (the errgroup / worker-pool launch idiom).
+var RNGDiscipline = &analysis.Analyzer{
+	Name: "rngdiscipline",
+	Doc:  "require .Split(label) when a randx.Source crosses into a spawned goroutine",
+	Run:  runRNGDiscipline,
+}
+
+// isRandxSource reports whether t is randx.Source or *randx.Source.
+func isRandxSource(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Source" && obj.Pkg() != nil && obj.Pkg().Path() == "p3q/internal/randx"
+}
+
+func runRNGDiscipline(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), DeterministicScopes) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		parents := parentMap(f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkSpawnCall(pass, parents, n.Call)
+			case *ast.CallExpr:
+				// Worker-pool style launches: g.Go(func() { ... }).
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Go" {
+					for _, arg := range n.Args {
+						if fl, ok := arg.(*ast.FuncLit); ok {
+							checkClosure(pass, parents, fl)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpawnCall validates the call of a go statement: closure bodies are
+// inspected for captured sources, and any source passed as an argument
+// (or called directly) must be a fresh .Split result.
+func checkSpawnCall(pass *analysis.Pass, parents map[ast.Node]ast.Node, call *ast.CallExpr) {
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		checkClosure(pass, parents, fl)
+	}
+	for _, arg := range call.Args {
+		if fl, ok := arg.(*ast.FuncLit); ok {
+			checkClosure(pass, parents, fl)
+			continue
+		}
+		if !isRandxSource(exprType(pass, arg)) {
+			continue
+		}
+		if isSplitCall(arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "randx.Source handed to a goroutine: pass source.Split(label) so the spawned work owns an independent stream")
+	}
+}
+
+// checkClosure flags captured sources used inside a goroutine-launched
+// closure for anything other than deriving a child via .Split.
+func checkClosure(pass *analysis.Pass, parents map[ast.Node]ast.Node, fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || !isRandxSource(v.Type()) {
+			return true
+		}
+		if fl.Pos() <= v.Pos() && v.Pos() < fl.End() {
+			return true // declared inside the closure (param or local)
+		}
+		// The source expression is the ident itself, or the selector it
+		// terminates (x.rng for a field access).
+		var expr ast.Expr = id
+		if sel, ok := parents[id].(*ast.SelectorExpr); ok && sel.Sel == id {
+			expr = sel
+		}
+		if consumedBySplit(parents, expr) {
+			return true
+		}
+		pass.Reportf(expr.Pos(), "randx.Source captured by goroutine-launched closure without .Split: derive a child stream (source.Split(label)) before the spawn, or split inside the closure before drawing")
+		return true
+	})
+}
+
+// consumedBySplit reports whether expr is exactly the receiver of a
+// .Split(...) call.
+func consumedBySplit(parents map[ast.Node]ast.Node, expr ast.Expr) bool {
+	sel, ok := parents[expr].(*ast.SelectorExpr)
+	if !ok || sel.X != expr || sel.Sel.Name != "Split" {
+		return false
+	}
+	call, ok := parents[sel].(*ast.CallExpr)
+	return ok && call.Fun == sel
+}
+
+// isSplitCall reports whether expr has the form x.Split(...).
+func isSplitCall(expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Split"
+}
+
+// exprType returns the static type of expr, or nil.
+func exprType(pass *analysis.Pass, expr ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// parentMap records the parent of every node under root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

@@ -1,0 +1,12 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/analysistest"
+)
+
+func TestRNGDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", RNGDiscipline,
+		"p3q/internal/core/rngfixture")
+}

@@ -1,0 +1,21 @@
+// Package outside is not under any deterministic or codec scope: the
+// idioms below are all legal here and must produce no diagnostics.
+package outside
+
+import (
+	"os"
+	"time"
+)
+
+func free(m map[int]int) time.Duration {
+	start := time.Now()
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	f, err := os.Open(os.DevNull)
+	if err == nil {
+		f.Close()
+	}
+	return time.Since(start)
+}

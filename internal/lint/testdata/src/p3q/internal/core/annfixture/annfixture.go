@@ -1,0 +1,24 @@
+// Package annfixture exercises validation of the //p3q: annotations
+// themselves: stale directives, reasonless directives, unknown verbs.
+package annfixture
+
+func bad(m map[string]int) int {
+	n := 0
+	//p3q:orderinvariant counting is commutative
+	for _, v := range m {
+		n += v
+	}
+	//p3q:orderinvariant
+	// want-above "missing a reason"
+	for _, v := range m {
+		n += v
+	}
+	//p3q:orderinvariant this is not attached to a map loop
+	// want-above "stale"
+	for i := 0; i < 3; i++ {
+		n += i
+	}
+	//p3q:frobnicate whatever
+	// want-above "unknown directive"
+	return n
+}

@@ -1,0 +1,30 @@
+// Package mofixture exercises the maporder analyzer inside a
+// deterministic-scope package path.
+package mofixture
+
+func walk(m map[int]int) int {
+	sum := 0
+	for k, v := range m { // want "iteration over map"
+		sum += k + v
+	}
+	//p3q:orderinvariant summing ints is commutative
+	for _, v := range m {
+		sum += v
+	}
+	for range m { // no loop variables: order cannot leak
+		sum++
+	}
+	for _, v := range []int{1, 2} { // slice order is deterministic
+		sum += v
+	}
+	return sum
+}
+
+func trailing(m map[string]bool) int {
+	n := 0
+	for k := range m { //p3q:orderinvariant len is order-free
+		_ = k
+		n++
+	}
+	return n
+}

@@ -1,0 +1,44 @@
+// Package rngfixture exercises the rngdiscipline analyzer: randx sources
+// crossing goroutine boundaries with and without .Split.
+package rngfixture
+
+import (
+	"sync"
+
+	"p3q/internal/randx"
+)
+
+type node struct{ rng *randx.Source }
+
+type pool struct{}
+
+func (pool) Go(f func()) { f() }
+
+func spawn(src *randx.Source, nodes []*node) {
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		_ = src.Intn(4) // want "captured by goroutine-launched closure"
+	}()
+	go func() {
+		defer wg.Done()
+		child := src.Split(1) // split before drawing: allowed
+		_ = child.Intn(4)
+	}()
+	go func() {
+		defer wg.Done()
+		_ = nodes[0].rng.Float64() // want "captured by goroutine-launched closure"
+	}()
+	wg.Wait()
+
+	go drain(src)          // want "handed to a goroutine"
+	go drain(src.Split(2)) // fresh child stream: allowed
+
+	var p pool
+	p.Go(func() {
+		_ = src.Float64() // want "captured by goroutine-launched closure"
+	})
+}
+
+func drain(s *randx.Source) { _ = s.Intn(2) }

@@ -1,0 +1,24 @@
+// Package wcfixture exercises the wallclock analyzer inside a
+// deterministic-scope package path.
+package wcfixture
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"time"
+)
+
+func clock() time.Duration {
+	start := time.Now()          // want "reads the host clock"
+	time.Sleep(time.Millisecond) // want "reads the host clock"
+	_ = mrand.Intn(4)            // want "process-wide state"
+	r := mrand.New(mrand.NewSource(1))
+	_ = r.Intn(4) // explicit deterministic source: allowed
+	buf := make([]byte, 8)
+	_, _ = rand.Read(buf)    // want "nondeterministic by design"
+	return time.Since(start) // want "reads the host clock"
+}
+
+// durations and constants from package time stay allowed: they carry
+// values without observing the host.
+const tick time.Duration = 5 * time.Second

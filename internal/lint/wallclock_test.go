@@ -1,0 +1,13 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/analysistest"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", WallClock,
+		"p3q/internal/sim/wcfixture",
+		"example.com/outside")
+}

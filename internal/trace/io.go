@@ -23,78 +23,115 @@ import (
 //	  actions x { item uint32, tag uint32 }
 //
 // All integers are little-endian.
+//
+// Like internal/checkpoint, the codec runs on sticky-error carriers: the
+// first failed read or write is retained and every later operation is a
+// no-op, so the call sites stay linear and check the error once. The
+// stickyerr analyzer (internal/lint) enforces that raw stream access
+// happens only inside the carrier methods below.
 const traceMagic = 0x50335130
 
 var errBadMagic = errors.New("trace: bad magic (not a P3Q trace file)")
 
+// traceWriter is the sticky-error carrier for Save.
+type traceWriter struct {
+	bw      *bufio.Writer
+	scratch [8]byte
+	err     error
+}
+
+// u32 writes one little-endian uint32.
+func (w *traceWriter) u32(v uint32) {
+	if w.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(w.scratch[:4], v)
+	_, w.err = w.bw.Write(w.scratch[:4])
+}
+
+// pair writes two little-endian uint32s in one call (the per-action hot
+// path).
+func (w *traceWriter) pair(a, b uint32) {
+	if w.err != nil {
+		return
+	}
+	binary.LittleEndian.PutUint32(w.scratch[:4], a)
+	binary.LittleEndian.PutUint32(w.scratch[4:], b)
+	_, w.err = w.bw.Write(w.scratch[:])
+}
+
+// flush returns the first error of the whole write, flushing on success.
+func (w *traceWriter) flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
 // Save writes the dataset in the binary trace format.
 func Save(w io.Writer, d *Dataset) error {
-	bw := bufio.NewWriter(w)
-	var scratch [8]byte
-	put32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := bw.Write(scratch[:4])
-		return err
-	}
-	if err := put32(traceMagic); err != nil {
-		return err
-	}
-	if err := put32(uint32(d.Users())); err != nil {
-		return err
-	}
-	if err := put32(uint32(d.NumItems)); err != nil {
-		return err
-	}
-	if err := put32(uint32(d.NumTags)); err != nil {
-		return err
-	}
+	tw := &traceWriter{bw: bufio.NewWriter(w)}
+	tw.u32(traceMagic)
+	tw.u32(uint32(d.Users()))
+	tw.u32(uint32(d.NumItems))
+	tw.u32(uint32(d.NumTags))
 	for _, p := range d.Profiles {
-		if err := put32(uint32(p.Owner())); err != nil {
-			return err
-		}
-		if err := put32(uint32(p.Len())); err != nil {
-			return err
-		}
+		tw.u32(uint32(p.Owner()))
+		tw.u32(uint32(p.Len()))
 		for _, a := range p.Actions() {
-			binary.LittleEndian.PutUint32(scratch[:4], uint32(a.Item))
-			binary.LittleEndian.PutUint32(scratch[4:], uint32(a.Tag))
-			if _, err := bw.Write(scratch[:]); err != nil {
-				return err
-			}
+			tw.pair(uint32(a.Item), uint32(a.Tag))
 		}
 	}
-	return bw.Flush()
+	return tw.flush()
+}
+
+// traceReader is the sticky-error carrier for Load.
+type traceReader struct {
+	br      *bufio.Reader
+	scratch [8]byte
+	err     error
+}
+
+// u32 reads one little-endian uint32, returning zero after a failure.
+func (r *traceReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if _, err := io.ReadFull(r.br, r.scratch[:4]); err != nil {
+		r.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(r.scratch[:4])
+}
+
+// pair reads two little-endian uint32s.
+func (r *traceReader) pair() (uint32, uint32) {
+	if r.err != nil {
+		return 0, 0
+	}
+	if _, err := io.ReadFull(r.br, r.scratch[:]); err != nil {
+		r.err = err
+		return 0, 0
+	}
+	return binary.LittleEndian.Uint32(r.scratch[:4]), binary.LittleEndian.Uint32(r.scratch[4:])
 }
 
 // Load reads a dataset written by Save. Loaded datasets have no generator
 // metadata: change-sets drawn from them use the global item space.
 func Load(r io.Reader) (*Dataset, error) {
-	br := bufio.NewReader(r)
-	var scratch [8]byte
-	get32 := func() (uint32, error) {
-		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(scratch[:4]), nil
-	}
-	magic, err := get32()
-	if err != nil {
-		return nil, err
+	tr := &traceReader{br: bufio.NewReader(r)}
+	magic := tr.u32()
+	if tr.err != nil {
+		return nil, tr.err
 	}
 	if magic != traceMagic {
 		return nil, errBadMagic
 	}
-	users, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	items, err := get32()
-	if err != nil {
-		return nil, err
-	}
-	tags, err := get32()
-	if err != nil {
-		return nil, err
+	users := tr.u32()
+	items := tr.u32()
+	tags := tr.u32()
+	if tr.err != nil {
+		return nil, tr.err
 	}
 	const maxUsers = 1 << 24
 	if users > maxUsers {
@@ -106,25 +143,21 @@ func Load(r io.Reader) (*Dataset, error) {
 		NumTags:  int(tags),
 	}
 	for i := uint32(0); i < users; i++ {
-		owner, err := get32()
-		if err != nil {
-			return nil, fmt.Errorf("trace: reading user %d header: %w", i, err)
+		owner := tr.u32()
+		n := tr.u32()
+		if tr.err != nil {
+			return nil, fmt.Errorf("trace: reading user %d header: %w", i, tr.err)
 		}
 		if owner != i {
 			return nil, fmt.Errorf("trace: user %d has owner field %d (profiles must be dense)", i, owner)
 		}
-		n, err := get32()
-		if err != nil {
-			return nil, err
-		}
 		p := tagging.NewProfile(tagging.UserID(owner))
 		for j := uint32(0); j < n; j++ {
-			if _, err := io.ReadFull(br, scratch[:]); err != nil {
-				return nil, fmt.Errorf("trace: reading action %d of user %d: %w", j, i, err)
+			it, tg := tr.pair()
+			if tr.err != nil {
+				return nil, fmt.Errorf("trace: reading action %d of user %d: %w", j, i, tr.err)
 			}
-			it := tagging.ItemID(binary.LittleEndian.Uint32(scratch[:4]))
-			tg := tagging.TagID(binary.LittleEndian.Uint32(scratch[4:]))
-			p.Add(it, tg)
+			p.Add(tagging.ItemID(it), tagging.TagID(tg))
 		}
 		d.Profiles[i] = p
 	}

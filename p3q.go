@@ -36,7 +36,11 @@
 // with per-shard traffic ledgers merged canonically afterwards. Runs are
 // byte-for-byte deterministic — identical personal networks, query
 // results, reached-sets and traffic counters — for every worker count
-// (and across repeated runs with the same seed).
+// (and across repeated runs with the same seed). The contract is enforced
+// statically as well as by tests: the determinism linter (internal/lint,
+// run as `go run ./cmd/p3qlint ./...` or as a `go vet -vettool`) bans
+// order-sensitive map iteration, host-clock and ambient-randomness use,
+// and undisciplined RNG sharing in the engine packages.
 //
 // Delivery is synchronous by default — every message of a cycle lands at
 // the cycle boundary, the paper's PeerSim round model. Setting
