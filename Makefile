@@ -1,0 +1,22 @@
+# Convenience targets for the p3q module. Everything here is a thin
+# wrapper over the go tool; CI runs the same commands (see
+# .github/workflows/ci.yml).
+
+.PHONY: lint test build bench
+
+# lint runs the determinism-linter suite through both of its entry
+# points: the standalone multichecker and the cmd/go unitchecker
+# protocol behind go vet (which also exercises the export-data path).
+lint:
+	go run ./cmd/p3qlint ./...
+	go build -o /tmp/p3qlint ./cmd/p3qlint
+	go vet -vettool=/tmp/p3qlint ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test . -run='^$$' -bench='BenchmarkLazyConvergence5k|BenchmarkEagerBurst5k' -benchmem

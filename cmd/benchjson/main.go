@@ -77,10 +77,9 @@ func main() {
 	flag.Parse()
 
 	if *history {
-		if flag.NArg() < 1 {
-			fmt.Fprintln(os.Stderr, "benchjson: -history needs at least one artifact: benchjson -history a.json [b.json ...]")
-			os.Exit(2)
-		}
+		// An empty series is a normal cold start (a fresh repository, expired
+		// CI artifacts, a glob that matched nothing), not a usage error:
+		// render the friendly note instead of failing the job-summary step.
 		if err := historyTable(flag.Args(), splitTracked(*track), *csv, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(2)
@@ -285,7 +284,15 @@ func historyTable(paths []string, tracked []string, csv bool, w io.Writer) error
 		}
 	}
 	if len(rows) == 0 {
-		return fmt.Errorf("no tracked benchmark (%s) found in the given artifacts", strings.Join(tracked, ", "))
+		// Degrade gracefully: an empty or all-untracked series happens on
+		// every fresh repository and whenever CI artifacts expired. The note
+		// renders fine in both CSV consumers and the markdown job summary.
+		if len(paths) == 0 {
+			fmt.Fprintln(w, "no archived benchmark artifacts yet; the trajectory starts with the next successful run")
+		} else {
+			fmt.Fprintf(w, "no tracked benchmark (%s) in the %d given artifact(s); nothing to tabulate yet\n", strings.Join(tracked, ", "), len(paths))
+		}
+		return nil
 	}
 
 	phase := func(v float64) string {

@@ -18,6 +18,7 @@ package main
 
 import (
 	"crypto/sha256"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -30,11 +31,22 @@ import (
 
 const module = "p3q"
 
+// jsonFinding is the -json output record: one object per line (JSON
+// Lines), stable field names for editor and CI integrations.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	args := os.Args[1:]
 
 	// The go command interrogates a vet tool before use: -V=full must
 	// print an identity line, -flags the JSON list of tool flags.
+	jsonOut := false
 	rest := args[:0:0]
 	rest = append(rest, args...)
 	for len(rest) > 0 && strings.HasPrefix(rest[0], "-") {
@@ -49,6 +61,9 @@ func main() {
 		case rest[0] == "-flags":
 			fmt.Println("[]")
 			return
+		case rest[0] == "-json":
+			jsonOut = true
+			rest = rest[1:]
 		default:
 			fmt.Fprintf(os.Stderr, "p3qlint: unknown flag %s\n", rest[0])
 			os.Exit(2)
@@ -58,7 +73,7 @@ func main() {
 	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		os.Exit(unitcheck(rest[0]))
 	}
-	os.Exit(standalone(rest))
+	os.Exit(standalone(rest, jsonOut))
 }
 
 // selfHash fingerprints the running executable for the -V=full identity
@@ -82,10 +97,12 @@ func selfHash() string {
 }
 
 // standalone expands the package patterns against the enclosing module,
-// loads and type-checks them with the offline loader, and prints findings.
-func standalone(patterns []string) int {
+// loads and type-checks them with the offline loader, and prints findings —
+// one `file:line:col: message [analyzer]` line each, or with jsonOut one
+// JSON object per line (machine-readable, for editors and CI annotators).
+func standalone(patterns []string, jsonOut bool) int {
 	if len(patterns) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: p3qlint <packages>   (e.g. p3qlint ./...)")
+		fmt.Fprintln(os.Stderr, "usage: p3qlint [-json] <packages>   (e.g. p3qlint ./...)")
 		return 2
 	}
 	root, err := load.FindModuleRoot(".")
@@ -113,10 +130,18 @@ func standalone(patterns []string) int {
 		fmt.Fprintf(os.Stderr, "p3qlint: %v\n", err)
 		return 2
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, f := range findings {
 		rel := f.File
 		if r, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(r, "..") {
 			rel = r
+		}
+		if jsonOut {
+			if err := enc.Encode(jsonFinding{File: rel, Line: f.Line, Col: f.Col, Analyzer: f.Analyzer, Message: f.Message}); err != nil {
+				fmt.Fprintf(os.Stderr, "p3qlint: %v\n", err)
+				return 2
+			}
+			continue
 		}
 		fmt.Printf("%s:%d:%d: %s [%s]\n", rel, f.Line, f.Col, f.Message, f.Analyzer)
 	}

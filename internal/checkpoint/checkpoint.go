@@ -10,7 +10,11 @@
 // checkpoint — and in which order — is decided by the owners of the state
 // (core.Engine.Snapshot / core.Restore); this package only guarantees that
 // a reader either consumes exactly what a writer produced or fails with a
-// descriptive error.
+// descriptive error. The owners' coverage is itself lint-enforced: the
+// snapshotcomplete analyzer (internal/lint) requires every field of a
+// checkpointed struct to be referenced on both the Snapshot and the
+// Restore path, or to carry an explicit `//p3q:transient <reason>`
+// waiver, so a newly added field cannot silently miss this codec.
 //
 // File layout:
 //

@@ -130,6 +130,8 @@ func (e *Engine) eagerCycleAsync() {
 // deferred to delivery events (scheduleEagerGossips); everything else
 // matches commitEagerGossipShard, including the canonical pair order each
 // shard walks.
+//
+//p3q:phase commit
 func (e *Engine) commitEagerGossipShardAsync(p *eagerPlan, sh *commitShard) {
 	if sh.owns(p.u) {
 		sh.ledger.Merge(p.ledger)

@@ -307,8 +307,8 @@ func (rs *restorer) readCounters() {
 	e.nextQueryID = rs.r.U64()
 	e.now = time.Duration(rs.r.I64())
 	e.naiveExchangeBytes = rs.r.U64()
-	e.rng = randx.NewSource(rs.r.U64())
-	e.latRng = randx.NewSource(rs.r.U64())
+	e.rng = randx.Restore(rs.r.U64())
+	e.latRng = randx.Restore(rs.r.U64())
 }
 
 func (e *Engine) writeProfiles(cw *ckpt.Writer) {
@@ -496,7 +496,7 @@ func (rs *restorer) readNode(id tagging.UserID) *Node {
 		id:       id,
 		e:        rs.e,
 		profile:  rs.ds.Profiles[id],
-		rng:      randx.NewSource(rs.r.U64()),
+		rng:      randx.Restore(rs.r.U64()),
 		branches: make(map[uint64][]tagging.UserID),
 	}
 

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -305,6 +308,49 @@ func TestRestoreRejectsAheadDataset(t *testing.T) {
 	}))
 	if _, err := Restore(&buf, w.ds, cfg); err == nil {
 		t.Fatal("Restore accepted a dataset ahead of the checkpoint")
+	}
+}
+
+// TestFuzzSeedCorpusRestores keeps the on-disk seed corpus of FuzzRestore
+// honest: every testdata/fuzz/FuzzRestore entry must parse as a
+// `go test fuzz v1` []byte literal, and the valid-snapshot seed must
+// restore successfully at the current format version. When the format (or
+// the checkpoint.Version constant) changes, this fails and signals that
+// the seed needs regenerating from smallSnapshot.
+func TestFuzzSeedCorpusRestores(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzRestore")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("seed corpus missing: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("seed corpus directory is empty")
+	}
+	_, cfg := smallSnapshot(t)
+	restored := 0
+	for _, ent := range entries {
+		raw, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(strings.TrimSuffix(string(raw), "\n"), "\n", 2)
+		if len(lines) != 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go test fuzz v1 corpus file", ent.Name())
+		}
+		lit := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		data, err := strconv.Unquote(lit)
+		if err != nil {
+			t.Fatalf("%s: corpus []byte literal does not unquote: %v", ent.Name(), err)
+		}
+		e, err := Restore(bytes.NewReader([]byte(data)), nil, cfg)
+		if err != nil {
+			t.Fatalf("%s: seed no longer restores at the current version: %v", ent.Name(), err)
+		}
+		e.LazyCycle()
+		restored++
+	}
+	if restored == 0 {
+		t.Fatal("no corpus entry restored")
 	}
 }
 

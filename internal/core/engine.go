@@ -86,6 +86,8 @@ type Engine struct {
 	// parallel planning phases and in the sharded commit phases (including
 	// the canonical ledger merge and the eager querier-side finalize), for
 	// PhaseDurations.
+	//
+	//p3q:transient host-side telemetry, deliberately outside the checkpoint (see Snapshot)
 	planDur, commitDur time.Duration
 }
 

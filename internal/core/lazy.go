@@ -85,6 +85,8 @@ type viewPlan struct {
 // planView plans one bottom-layer gossip for node a: pick a uniform
 // partner from the random view, swap r digests, re-sample both views. It
 // returns nil when the view is empty.
+//
+//p3q:phase plan
 func (e *Engine) planView(a *Node, seq uint64) *viewPlan {
 	rng := a.rng.Split(planLabel(seq, purposeView, 0))
 	d, ok := a.view.SelectPartner(rng)
@@ -112,6 +114,8 @@ func (e *Engine) planView(a *Node, seq uint64) *viewPlan {
 // bottom-layer exchange: the plan ledger and the initiator-side view merge
 // (or dead-partner removal) belong to a's shard, the partner-side merge to
 // the partner's shard.
+//
+//p3q:phase commit
 func (e *Engine) commitViewShard(a *Node, p *viewPlan, sh *commitShard) {
 	if p == nil {
 		return
@@ -182,6 +186,8 @@ type topPlan struct {
 // network neighbour with the oldest timestamp (retrying past departed ones
 // up to MaxProbes) and the symmetric 3-step profile exchange with her — and
 // the scoring of a's random-view candidates (§2.2.1).
+//
+//p3q:phase plan
 func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 	p := &topPlan{ledger: e.net.NewLedger()}
 	rng := a.rng.Split(planLabel(seq, purposeTop, 0))
@@ -266,6 +272,8 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 // gossip in the canonical role order: probe ledger and timestamp resets
 // (initiator), the partner exchange (split across both shards), the gossip
 // timestamps, and the random-view contacts (initiator).
+//
+//p3q:phase commit
 func (e *Engine) commitTopShard(a *Node, p *topPlan, sh *commitShard) {
 	if p == nil {
 		return
@@ -318,6 +326,8 @@ type exchangePlan struct {
 // split streams; seen optionally overlays versions the caller's plan has
 // already scored on a's side (the lazy planner shares it with its
 // random-view pass).
+//
+//p3q:phase plan
 func (e *Engine) planTopExchange(a, b *Node, rngA, rngB *randx.Source, seen map[tagging.UserID]int) *exchangePlan {
 	p := &exchangePlan{ledger: e.net.NewLedger()}
 	offersA := a.advertise(rngA)
@@ -337,6 +347,8 @@ func (e *Engine) planTopExchange(a, b *Node, rngA, rngB *randx.Source, seen map[
 // traffic of each integration — each value is only meaningful in the shard
 // owning the respective node — so the eager finalize pass can attribute
 // piggybacked maintenance bytes per query.
+//
+//p3q:phase commit
 func (e *Engine) commitTopExchangeShard(a, b *Node, p *exchangePlan, sh *commitShard) (peerBytes, selfBytes uint64) {
 	if sh.owns(a.id) {
 		sh.ledger.Merge(p.ledger)
@@ -398,6 +410,9 @@ type intResult struct {
 // number of planners may run it concurrently — including two planners
 // integrating into the same n. It returns nil when every offer is filtered
 // out (no step-2 messages are exchanged then).
+//
+//p3q:phase plan
+//p3q:hotpath
 func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[tagging.UserID]int) *integration {
 	var results []intResult
 	reqBytes, respBytes := 0, 0
@@ -442,7 +457,7 @@ func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[ta
 	if len(results) == 0 {
 		return nil
 	}
-	return &integration{provider: provider, results: results, reqBytes: reqBytes, respBytes: respBytes}
+	return &integration{provider: provider, results: results, reqBytes: reqBytes, respBytes: respBytes} //p3q:alloc one intent per gossip, escapes to the commit phase
 }
 
 // commitIntegration applies a planned integration: the evaluated-cache
@@ -453,6 +468,9 @@ func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[ta
 // committers stay free of shared counters; only n's own state is mutated,
 // and the cross-node reads (owner profiles and digests) are frozen during
 // the commit phase.
+//
+//p3q:phase commit
+//p3q:hotpath
 func (n *Node) commitIntegration(it *integration, l *sim.Ledger) {
 	if it == nil {
 		return
@@ -472,7 +490,7 @@ func (n *Node) commitIntegration(it *integration, l *sim.Ledger) {
 	l.Send(it.provider, n.id, sim.MsgCommonItems, it.respBytes)
 
 	// Update the personal network: keep the s highest positive scores.
-	inBatch := make(map[tagging.UserID]intResult, len(it.results))
+	inBatch := make(map[tagging.UserID]intResult, len(it.results)) //p3q:alloc keyed by the batch being committed; a reusable scratch map would outlive the shard
 	for _, r := range it.results {
 		if r.score <= 0 {
 			continue
@@ -515,6 +533,8 @@ func (n *Node) commitIntegration(it *integration, l *sim.Ledger) {
 // entries), recording the messages in l. It is a no-op if the owner has
 // departed. The owner's profile and normalized digest are read-only during
 // the commit phase, so this is safe from any shard committer.
+//
+//p3q:phase commit
 func (n *Node) fetchFromOwner(entry *Entry, l *sim.Ledger) {
 	if !n.e.net.Online(entry.ID) {
 		l.Send(n.id, entry.ID, sim.MsgProbe, 0) // records the probe
@@ -531,6 +551,8 @@ func (n *Node) fetchFromOwner(entry *Entry, l *sim.Ledger) {
 // commonItems returns the items of p that the digest may contain — the
 // common-item estimate of Algorithm 1 (false positives possible at the
 // Bloom filter's rate, false negatives never).
+//
+//p3q:hotpath
 func commonItems(p *tagging.Profile, d *tagging.Digest) []tagging.ItemID {
 	var out []tagging.ItemID
 	for _, it := range p.Items() {

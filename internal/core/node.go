@@ -10,14 +10,16 @@ import (
 // and random view, plus the per-query branches of remaining lists she is
 // responsible for in eager mode.
 type Node struct {
-	id      tagging.UserID
-	e       *Engine
-	profile *tagging.Profile
+	id      tagging.UserID   //p3q:transient implicit: nodes serialize in index order, the id is the position
+	e       *Engine          //p3q:transient engine back-pointer, re-attached on restore
+	profile *tagging.Profile //p3q:transient re-resolved from the restored dataset (profiles serialize once, engine-level)
 	pnet    *PersonalNetwork
 	view    *gossip.View
 	rng     *randx.Source
 
 	// ownDigest caches the digest of the node's own profile per version.
+	//
+	//p3q:transient memo keyed by profile version, recomputed by digest() in the next pre-pass
 	ownDigest *tagging.Digest
 
 	// evaluated memoizes, per candidate owner, the highest profile version
@@ -49,7 +51,12 @@ func (n *Node) View() *gossip.View { return n.view }
 // it only when the profile changed. The engine's per-cycle pre-pass calls
 // it for every node, so during the parallel plan and commit phases — where
 // planners and shard committers of other nodes read it — it is a pure
-// read: profiles only change between cycles.
+// read: profiles only change between cycles. It runs in the pre-pass as a
+// unit of plan-phase work that owns its node exclusively, so the memo
+// write below stays legal under phasepurity.
+//
+//p3q:phase plan
+//p3q:hotpath
 func (n *Node) digest() *tagging.Digest {
 	if n.ownDigest == nil || n.ownDigest.Version != n.profile.Version() {
 		n.ownDigest = tagging.NewDigest(n.profile.Snapshot(), n.e.cfg.BloomBits, n.e.cfg.BloomHashes)
@@ -64,10 +71,13 @@ func (n *Node) descriptor() gossip.Descriptor {
 }
 
 // checkEvalCache invalidates the evaluated memo when the own profile
-// changed since it was built.
+// changed since it was built. Pre-pass work: each unit owns its node.
+//
+//p3q:phase plan
+//p3q:hotpath
 func (n *Node) checkEvalCache() {
 	if n.evaluated == nil || n.evalVersion != n.profile.Version() {
-		n.evaluated = make(map[tagging.UserID]int)
+		n.evaluated = make(map[tagging.UserID]int) //p3q:alloc once per own-profile version bump, not per call
 		n.evalVersion = n.profile.Version()
 	}
 }
@@ -90,10 +100,12 @@ type offer struct {
 // lazy and the eager planners derive per-cycle split streams (planLabel /
 // eagerStream) so that concurrent planners never contend on a shared
 // source.
+//
+//p3q:hotpath
 func (n *Node) advertise(rng *randx.Source) []offer {
 	stored := n.pnet.StoredEntries()
 	max := n.e.cfg.MaxDigestsPerGossip
-	out := make([]offer, 0, 1+min(len(stored), max))
+	out := make([]offer, 0, 1+min(len(stored), max)) //p3q:alloc gossip payload, escapes into the exchanged plan
 	out = append(out, offer{digest: n.digest(), snap: n.profile.Snapshot()})
 	if len(stored) <= max {
 		for _, e := range stored {

@@ -21,6 +21,8 @@ type Entry struct {
 
 	// pn is the owning network; Age derives the gossip timestamp from its
 	// logical clock.
+	//
+	//p3q:transient back-pointer to the owning network, re-attached on restore
 	pn *PersonalNetwork
 	// last is the owning network's clock value when the neighbour was last
 	// gossiped with (or added).
@@ -60,8 +62,9 @@ func rankBefore(aScore int, aID tagging.UserID, bScore int, bID tagging.UserID) 
 // age ordering consumed by PartnersByAge is memoized until a touch or a
 // membership change invalidates it.
 type PersonalNetwork struct {
-	self    tagging.UserID
-	s, c    int
+	self tagging.UserID //p3q:transient implicit: the owning node's id, re-derived by the restoring node
+	s, c int
+	//p3q:transient mirror: by-owner index of the entries serialized via ranking, rebuilt on restore
 	entries map[tagging.UserID]*Entry
 	ranking []*Entry // always sorted: descending score, ascending ID
 	// clock counts Touch calls; entries age implicitly as it advances.
@@ -69,6 +72,8 @@ type PersonalNetwork struct {
 	// byAge memoizes the PartnersByAge ordering (ascending last, ascending
 	// ID); nil when stale. Pure aging (clock advancing) preserves the
 	// ordering, so only touches and membership changes invalidate it.
+	//
+	//p3q:transient memo, rebuilt lazily (or by Prepare) from ranking and last
 	byAge []*Entry
 }
 
@@ -161,6 +166,8 @@ func (pn *PersonalNetwork) Upsert(id tagging.UserID, score int, digest *tagging.
 // is free of lazy rebuilds and therefore safe to call from concurrent
 // planners. The ranking itself needs no preparation: it is maintained
 // sorted on every Upsert.
+//
+//p3q:phase plan
 func (pn *PersonalNetwork) Prepare() { pn.orderedByAge() }
 
 // Ranking returns the neighbours ordered by descending score (ties:

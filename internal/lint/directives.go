@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a p3qlint source annotation, in the style of
+// //go:build: no space after the slashes, verb, then a free-form argument
+// (a reason, or a phase name for //p3q:phase).
+const directivePrefix = "//p3q:"
+
+// The directive verbs. Each verb is owned by one analyzer, which validates
+// its attachment, argument, and staleness; maporder additionally validates
+// every directive's verb and scope module-wide, so a typoed or misplaced
+// verb is an error in whatever package it lands in.
+const (
+	// orderInvariantVerb marks a range-over-map whose body is commutative,
+	// so iteration order provably cannot reach any engine-visible state.
+	orderInvariantVerb = "orderinvariant"
+	// phaseVerb assigns a function to the plan or commit phase of the
+	// cycle engine; phasepurity then enforces that phase's contract.
+	phaseVerb = "phase"
+	// transientVerb excuses a field of a checkpointed struct from the
+	// snapshotcomplete coverage requirement, with a reason.
+	transientVerb = "transient"
+	// hotpathVerb marks a per-cycle inner-loop function whose body
+	// hotalloc scans for allocating constructs.
+	hotpathVerb = "hotpath"
+	// allocVerb excuses one allocating construct inside a hotpath
+	// function, with a reason.
+	allocVerb = "alloc"
+)
+
+// verbScopes maps each recognized verb to the package scopes it applies
+// in; nil means the verb is recognized module-wide. A directive using a
+// known verb outside its scope is as wrong as an unknown verb — it
+// suppresses nothing and rots into false confidence — so maporder reports
+// both the same way.
+var verbScopes = map[string][]string{
+	orderInvariantVerb: nil,
+	phaseVerb:          DeterministicScopes,
+	transientVerb:      SnapshotScopes,
+	hotpathVerb:        DeterministicScopes,
+	allocVerb:          DeterministicScopes,
+}
+
+// knownVerbs returns the recognized verbs sorted, for diagnostics.
+func knownVerbs() []string {
+	out := make([]string, 0, len(verbScopes))
+	for v := range verbScopes {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// directive is one parsed //p3q: annotation.
+type directive struct {
+	comment *ast.Comment
+	verb    string
+	reason  string
+	used    bool
+}
+
+// parseDirectives extracts the //p3q: annotations of a file, keyed by the
+// comment group that carries them.
+func parseDirectives(f *ast.File) map[*ast.CommentGroup][]*directive {
+	out := map[*ast.CommentGroup][]*directive{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, reason, _ := strings.Cut(rest, " ")
+			out[cg] = append(out[cg], &directive{
+				comment: c,
+				verb:    verb,
+				reason:  strings.TrimSpace(reason),
+			})
+		}
+	}
+	return out
+}
+
+// directivesAt returns the directives with the given verb attached to a
+// declaration or statement starting at line: carried by a comment group
+// ending on the line above it, or by a trailing comment on the same line.
+// codeEnds (from codeEndLines) disambiguates the two: a trailing comment
+// shares its line with code and attaches only there, never to the line
+// below.
+func directivesAt(fset *token.FileSet, directives map[*ast.CommentGroup][]*directive, codeEnds map[int]token.Pos, verb string, line int) []*directive {
+	var out []*directive
+	for cg, ds := range directives {
+		start := fset.Position(cg.Pos()).Line
+		end := fset.Position(cg.End()).Line
+		trailing := codeEnds[start] > 0 && codeEnds[start] <= cg.Pos()
+		if trailing {
+			if start != line {
+				continue
+			}
+		} else if end != line-1 {
+			continue
+		}
+		for _, d := range ds {
+			if d.verb == verb {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// codeEndLines maps each line of f to the end position of the last
+// non-comment syntax node ending on it. A comment group starting after
+// that position is a trailing comment of that line's code.
+func codeEndLines(fset *token.FileSet, f *ast.File) map[int]token.Pos {
+	ends := map[int]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup:
+			return true
+		}
+		line := fset.Position(n.End()).Line
+		if n.End() > ends[line] {
+			ends[line] = n.End()
+		}
+		return true
+	})
+	return ends
+}

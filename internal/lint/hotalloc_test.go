@@ -1,0 +1,21 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/analysistest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, "testdata", HotAlloc,
+		"p3q/internal/core/hafixture")
+}
+
+// TestScopedVerbsOutsideScope proves a scoped verb used from the wrong
+// package is rejected as unknown (maporder owns module-wide verb/scope
+// validation), so //p3q:hotpath, //p3q:transient and //p3q:phase can
+// never silently assert nothing from an out-of-scope package.
+func TestScopedVerbsOutsideScope(t *testing.T) {
+	analysistest.Run(t, "testdata", MapOrder,
+		"example.com/outsideverbs")
+}

@@ -1,17 +1,20 @@
-// Package lint is the p3qlint determinism-linter suite: four static
-// analyzers that enforce, at go-vet time, the ordering, clock, and RNG
-// contracts ARCHITECTURE.md otherwise states only in prose. The dynamic
-// half of the safety net — the Workers=1-vs-N fingerprint tests and the
-// resume-equals-uninterrupted checkpoint tests — catches a determinism
-// violation only after it is written and only on an exercised path; these
-// analyzers reject the idioms that cause them before the code runs.
+// Package lint is the p3qlint determinism-linter suite: seven static
+// analyzers that enforce, at go-vet time, the ordering, clock, RNG,
+// phase, and checkpoint contracts ARCHITECTURE.md otherwise states only
+// in prose. The dynamic half of the safety net — the Workers=1-vs-N
+// fingerprint tests and the resume-equals-uninterrupted checkpoint tests
+// — catches a determinism violation only after it is written and only on
+// an exercised path; these analyzers reject the idioms that cause them
+// before the code runs.
 //
 // The analyzers:
 //
 //   - maporder: no `range` over a map inside the deterministic engine
 //     packages, unless annotated `//p3q:orderinvariant <reason>` (for
-//     provably commutative loop bodies). Annotations are themselves
-//     validated: a stale or reasonless annotation is an error.
+//     provably commutative loop bodies). The //p3q: directive system
+//     itself is validated module-wide here: a stale or reasonless
+//     orderinvariant annotation, an unknown verb, and a known verb used
+//     outside its scope are all errors.
 //   - wallclock: no time.Now/Since/Sleep and no global math/rand or
 //     crypto/rand in the deterministic packages; use the virtual clock
 //     and internal/randx split streams.
@@ -20,8 +23,22 @@
 //   - stickyerr: the codec packages (internal/checkpoint, internal/trace)
 //     discard no error results and perform raw stream I/O only inside
 //     sticky-error carrier methods.
+//   - phasepurity: functions annotated `//p3q:phase plan` (run
+//     concurrently against cycle-start state) may not write through an
+//     Engine-typed value; `//p3q:phase commit` functions may not draw
+//     from randx.Source or range over maps; functions called from the
+//     forEachIndex/forEachNode/commitSharded worker closures must carry a
+//     phase annotation.
+//   - snapshotcomplete: every field of a checkpointed struct (Engine,
+//     Node, PersonalNetwork, Entry, QueryRun, eagerEvent, sim.EventQueue,
+//     sim.Traffic, randx.Source) must be referenced on both the Snapshot
+//     and the Restore path, or carry `//p3q:transient <reason>`.
+//   - hotalloc: inside functions annotated `//p3q:hotpath`, allocating
+//     constructs (map/slice literals, make/new, fmt calls, string
+//     concatenation, interface boxing) are flagged unless excused by
+//     `//p3q:alloc <reason>`.
 //
-// Run the suite with `go run ./cmd/p3qlint ./...` or as
+// Run the suite with `go run ./cmd/p3qlint ./...` (or `make lint`), or as
 // `go vet -vettool=$(which p3qlint) ./...`.
 package lint
 
@@ -52,6 +69,15 @@ var CodecScopes = []string{
 	"p3q/internal/trace",
 }
 
+// SnapshotScopes lists the packages that define checkpointed state:
+// snapshotcomplete checks struct-field codec coverage there, and the
+// //p3q:transient verb is only recognized there.
+var SnapshotScopes = []string{
+	"p3q/internal/core",
+	"p3q/internal/sim",
+	"p3q/internal/randx",
+}
+
 // inScope reports whether pkg path is one of the scopes or below one.
 func inScope(path string, scopes []string) bool {
 	for _, s := range scopes {
@@ -64,7 +90,7 @@ func inScope(path string, scopes []string) bool {
 
 // Analyzers returns the full p3qlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MapOrder, WallClock, RNGDiscipline, StickyErr}
+	return []*analysis.Analyzer{MapOrder, WallClock, RNGDiscipline, StickyErr, PhasePurity, SnapshotComplete, HotAlloc}
 }
 
 // Finding is one diagnostic located in a file, ready for printing.

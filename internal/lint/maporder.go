@@ -8,78 +8,35 @@ import (
 	"p3q/internal/lint/analysis"
 )
 
-// directivePrefix introduces a p3qlint source annotation, in the style of
-// //go:build: no space after the slashes, verb, then a free-form reason.
-const directivePrefix = "//p3q:"
-
-// orderInvariantVerb marks a range-over-map whose body is commutative, so
-// iteration order provably cannot reach any engine-visible state.
-const orderInvariantVerb = "orderinvariant"
-
 // MapOrder flags `range` over a map in the deterministic engine packages:
 // Go randomizes map iteration order per run, so any map walk whose body
 // has order-dependent effects breaks the Workers=1-vs-N fingerprint
 // contract. Loops with genuinely commutative bodies are annotated
-// `//p3q:orderinvariant <reason>`; the analyzer validates the annotations
-// themselves (an annotation that is attached to no map range, lacks a
-// reason, or uses an unknown verb is an error in every package).
+// `//p3q:orderinvariant <reason>`; the analyzer also validates the //p3q:
+// directive system itself, module-wide: an orderinvariant annotation that
+// is attached to no map range or lacks a reason, a directive with an
+// unknown verb, and a known verb used outside its scope (see verbScopes)
+// are all errors in every package.
 var MapOrder = &analysis.Analyzer{
 	Name: "maporder",
 	Doc:  "flag range-over-map in deterministic packages unless annotated //p3q:orderinvariant <reason>",
 	Run:  runMapOrder,
 }
 
-// directive is one parsed //p3q: annotation.
-type directive struct {
-	comment *ast.Comment
-	verb    string
-	reason  string
-	used    bool
-}
-
-// parseDirectives extracts the //p3q: annotations of a file, keyed by the
-// comment group that carries them.
-func parseDirectives(f *ast.File) map[*ast.CommentGroup][]*directive {
-	out := map[*ast.CommentGroup][]*directive{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			rest, ok := strings.CutPrefix(c.Text, directivePrefix)
-			if !ok {
-				continue
-			}
-			verb, reason, _ := strings.Cut(rest, " ")
-			out[cg] = append(out[cg], &directive{
-				comment: c,
-				verb:    verb,
-				reason:  strings.TrimSpace(reason),
-			})
-		}
-	}
-	return out
-}
-
 func runMapOrder(pass *analysis.Pass) error {
 	deterministic := inScope(pass.Pkg.Path(), DeterministicScopes)
 	for _, f := range pass.Files {
 		directives := parseDirectives(f)
+		codeEnds := codeEndLines(pass.Fset, f)
 
 		// annotationFor finds an orderinvariant directive attached to the
-		// statement starting at line: in a comment group ending on the
-		// line above it, or in a trailing comment on the same line.
+		// statement starting at line.
 		annotationFor := func(line int) *directive {
-			for cg, ds := range directives {
-				start := pass.Fset.Position(cg.Pos()).Line
-				end := pass.Fset.Position(cg.End()).Line
-				if end != line-1 && start != line {
-					continue
-				}
-				for _, d := range ds {
-					if d.verb == orderInvariantVerb {
-						return d
-					}
-				}
+			ds := directivesAt(pass.Fset, directives, codeEnds, orderInvariantVerb, line)
+			if len(ds) == 0 {
+				return nil
 			}
-			return nil
+			return ds[0]
 		}
 
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -113,14 +70,23 @@ func runMapOrder(pass *analysis.Pass) error {
 			return true
 		})
 
-		// Validate the annotations themselves, in every package: an
+		// Validate the directive system itself, in every package: an
 		// annotation that suppresses nothing rots into false confidence
-		// the next time the loop below it changes.
+		// the next time the code below it changes. Verb and scope are
+		// checked here for every directive; attachment, argument, and
+		// staleness of the non-orderinvariant verbs are validated by
+		// their owning analyzers (phasepurity, snapshotcomplete,
+		// hotalloc).
 		for _, ds := range directives {
 			for _, d := range ds {
+				scopes, known := verbScopes[d.verb]
 				switch {
+				case !known:
+					pass.Reportf(d.comment.Pos(), "unknown directive //p3q:%s (recognized verbs: %s)", d.verb, strings.Join(knownVerbs(), ", "))
+				case scopes != nil && !inScope(pass.Pkg.Path(), scopes):
+					pass.Reportf(d.comment.Pos(), "unknown directive //p3q:%s in package %s (this verb is only recognized under %s)", d.verb, pass.Pkg.Path(), strings.Join(scopes, ", "))
 				case d.verb != orderInvariantVerb:
-					pass.Reportf(d.comment.Pos(), "unknown directive //p3q:%s (the only recognized verb is %s)", d.verb, orderInvariantVerb)
+					// Owned by another analyzer.
 				case !d.used:
 					pass.Reportf(d.comment.Pos(), "stale //p3q:%s directive: no range-over-map starts on the line below it", orderInvariantVerb)
 				}

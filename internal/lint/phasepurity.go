@@ -1,0 +1,278 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"p3q/internal/lint/analysis"
+)
+
+// The two phases a function can be assigned to with //p3q:phase.
+const (
+	planPhase   = "plan"
+	commitPhase = "commit"
+)
+
+// PhasePurity enforces the plan/commit phase contract of the cycle
+// engine. Functions annotated `//p3q:phase plan` run concurrently on
+// worker goroutines against cycle-start state, so they may not write
+// through an Engine-typed value (mutations must flow through returned
+// plan/intent values; a plan function may still normalize its own node,
+// because each unit of work owns one node's state exclusively). Functions
+// annotated `//p3q:phase commit` replay plans in the canonical order, so
+// they may not draw fresh randomness from a randx.Source (Split and State
+// do not advance the stream and stay legal) and may not re-derive
+// ordering by ranging over a map (unless the loop is independently proven
+// commutative with //p3q:orderinvariant). Finally, any function called
+// directly from a worker closure passed to forEachIndex, forEachNode, or
+// commitSharded must itself carry a phase annotation, so new helpers
+// cannot slip into the parallel sections unreviewed.
+//
+// The write check is a direct-assignment check, not an escape analysis:
+// it flags assignments and ++/-- whose target chain passes through a
+// value of the package's Engine type. Mutations hidden behind method
+// calls are out of its reach — those are what the Workers=1-vs-N
+// fingerprint tests remain for.
+var PhasePurity = &analysis.Analyzer{
+	Name: "phasepurity",
+	Doc:  "enforce //p3q:phase plan/commit purity and annotation coverage of worker-closure callees",
+	Run:  runPhasePurity,
+}
+
+func runPhasePurity(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), DeterministicScopes) {
+		return nil
+	}
+
+	// Pass 1 over all files: attach //p3q:phase directives to function
+	// declarations and index the declarations by their object, so calls
+	// in one file can see annotations granted in another.
+	phaseOf := map[types.Object]string{}
+	decls := map[types.Object]*ast.FuncDecl{}
+	type fileDirectives struct {
+		file       *ast.File
+		directives map[*ast.CommentGroup][]*directive
+		codeEnds   map[int]token.Pos
+	}
+	var perFile []fileDirectives
+	for _, f := range pass.Files {
+		directives := parseDirectives(f)
+		codeEnds := codeEndLines(pass.Fset, f)
+		perFile = append(perFile, fileDirectives{f, directives, codeEnds})
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj != nil {
+				decls[obj] = fd
+			}
+			line := pass.Fset.Position(fd.Pos()).Line
+			for _, d := range directivesAt(pass.Fset, directives, codeEnds, phaseVerb, line) {
+				d.used = true
+				switch d.reason {
+				case planPhase, commitPhase:
+					if prev, ok := phaseOf[obj]; ok && prev != d.reason {
+						pass.Reportf(d.comment.Pos(), "conflicting //p3q:phase directives on %s: %s and %s (a function belongs to exactly one phase)", fd.Name.Name, prev, d.reason)
+						continue
+					}
+					if obj != nil {
+						phaseOf[obj] = d.reason
+					}
+				default:
+					pass.Reportf(d.comment.Pos(), "//p3q:phase directive needs a phase argument: plan or commit")
+				}
+			}
+		}
+	}
+
+	// A //p3q:phase directive that attached to no function declaration
+	// (on a type, a statement, a blank line) asserts nothing.
+	for _, fd := range perFile {
+		for _, ds := range fd.directives {
+			for _, d := range ds {
+				if d.verb == phaseVerb && !d.used {
+					pass.Reportf(d.comment.Pos(), "stale //p3q:phase directive: no function declaration starts on the line below it")
+				}
+			}
+		}
+	}
+
+	// Pass 2: enforce the per-phase body contracts and the annotation
+	// coverage of worker-closure callees.
+	reported := map[types.Object]bool{}
+	for _, fd := range perFile {
+		for _, decl := range fd.file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fn.Name]
+			switch phaseOf[obj] {
+			case planPhase:
+				checkPlanWrites(pass, fn)
+			case commitPhase:
+				checkCommitBody(pass, fd.directives, fd.codeEnds, fn)
+			}
+			checkWorkerClosures(pass, fn, phaseOf, decls, reported)
+		}
+	}
+	return nil
+}
+
+// checkPlanWrites flags assignment targets in a plan-phase function whose
+// selector/index chain passes through an Engine-typed value: those writes
+// land in shared engine state while sibling workers are still reading it.
+func checkPlanWrites(pass *analysis.Pass, fn *ast.FuncDecl) {
+	check := func(target ast.Expr) {
+		for e := target; ; {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				if isEngineType(pass.Pkg, exprType(pass, x.X)) {
+					pass.Reportf(target.Pos(), "plan-phase function %s writes engine shared state (%s): plan runs concurrently against cycle-start state, so mutations must flow through the returned plan value and be applied at commit", fn.Name.Name, typeString(exprType(pass, target)))
+					return
+				}
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				check(lhs)
+			}
+		case *ast.IncDecStmt:
+			check(st.X)
+		}
+		return true
+	})
+}
+
+// checkCommitBody flags randomness draws and map iteration in a
+// commit-phase function: commit replays plans in the canonical order, so
+// any fresh draw desynchronizes the RNG streams across worker counts and
+// any map walk injects Go's per-run iteration order into the result.
+func checkCommitBody(pass *analysis.Pass, directives map[*ast.CommentGroup][]*directive, codeEnds map[int]token.Pos, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if isRandxSource(exprType(pass, sel.X)) && sel.Sel.Name != "Split" && sel.Sel.Name != "State" {
+				pass.Reportf(x.Pos(), "commit-phase function %s draws from a randx.Source (%s): draw all randomness at plan time or in a sequential pass, so streams stay identical across worker counts", fn.Name.Name, sel.Sel.Name)
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.TypesInfo.Types[x.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap || x.Key == nil {
+				return true
+			}
+			line := pass.Fset.Position(x.Pos()).Line
+			if len(directivesAt(pass.Fset, directives, codeEnds, orderInvariantVerb, line)) > 0 {
+				// maporder has already vetted this loop as commutative.
+				return true
+			}
+			pass.Reportf(x.Pos(), "commit-phase function %s ranges over map %s: commit must not re-derive ordering from a map (walk a canonical slice, or prove the body commutative with //p3q:%s)", fn.Name.Name, typeString(tv.Type), orderInvariantVerb)
+		}
+		return true
+	})
+}
+
+// workerSpawners names the Engine methods that fan work out to goroutines
+// and the phase their closures run in.
+var workerSpawners = map[string]string{
+	"forEachIndex":  planPhase,
+	"forEachNode":   planPhase,
+	"commitSharded": commitPhase,
+}
+
+// checkWorkerClosures requires every same-package function called
+// directly from a func literal passed to forEachIndex/forEachNode/
+// commitSharded to carry a //p3q:phase annotation matching the spawner's
+// phase. One diagnostic per function, at its declaration.
+func checkWorkerClosures(pass *analysis.Pass, fn *ast.FuncDecl, phaseOf map[types.Object]string, decls map[types.Object]*ast.FuncDecl, reported map[types.Object]bool) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		phase, ok := workerSpawners[sel.Sel.Name]
+		if !ok || !isEngineType(pass.Pkg, exprType(pass, sel.X)) {
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				inner, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				var callee *ast.Ident
+				switch f := inner.Fun.(type) {
+				case *ast.Ident:
+					callee = f
+				case *ast.SelectorExpr:
+					callee = f.Sel
+				default:
+					return true
+				}
+				obj := pass.TypesInfo.Uses[callee]
+				fd, declared := decls[obj]
+				if obj == nil || !declared || reported[obj] {
+					return true
+				}
+				got, annotated := phaseOf[obj]
+				switch {
+				case !annotated:
+					reported[obj] = true
+					pass.Reportf(fd.Pos(), "%s is called from a %s worker closure but has no //p3q:phase annotation (annotate //p3q:phase %s and satisfy its contract)", fd.Name.Name, sel.Sel.Name, phase)
+				case got != phase:
+					reported[obj] = true
+					pass.Reportf(fd.Pos(), "%s is annotated //p3q:phase %s but is called from a %s worker closure, which runs in the %s phase", fd.Name.Name, got, sel.Sel.Name, phase)
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// isEngineType reports whether t (possibly behind a pointer) is a named
+// type called Engine declared in a deterministic-scope package — the
+// cycle engine whose shared state the plan phase must not touch.
+func isEngineType(pkg *types.Package, t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Engine" && obj.Pkg() != nil && inScope(obj.Pkg().Path(), DeterministicScopes)
+}

@@ -1,0 +1,12 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/analysistest"
+)
+
+func TestPhasePurity(t *testing.T) {
+	analysistest.Run(t, "testdata", PhasePurity,
+		"p3q/internal/core/ppfixture")
+}

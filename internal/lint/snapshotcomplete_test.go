@@ -1,0 +1,12 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/analysistest"
+)
+
+func TestSnapshotComplete(t *testing.T) {
+	analysistest.Run(t, "testdata", SnapshotComplete,
+		"p3q/internal/core/scfixture")
+}

@@ -1,0 +1,59 @@
+// Package hafixture exercises the hotalloc analyzer: allocating
+// constructs inside //p3q:hotpath functions are flagged unless excused
+// with a trailing //p3q:alloc <reason>, and the directives themselves
+// are validated.
+package hafixture
+
+import "fmt"
+
+type sink interface{ m() }
+
+type impl struct{ n int }
+
+func (impl) m() {}
+
+func take(x sink) {}
+
+//p3q:hotpath
+func hot(n int, s, t string, raw []byte, dst []int) int {
+	m := map[int]int{}  // want "map literal"
+	sl := []int{1, n}   // want "slice literal"
+	p := new(impl)      // want "new allocates per call"
+	q := &impl{n: n}    // want "literal heap-allocates"
+	cat := s + t        // want "string concatenation allocates"
+	b := []byte(s)      // want "copies its operand"
+	back := string(raw) // want "copies its operand"
+	boxed := sink(impl{n: n})
+	// want-above "boxes the value"
+	take(impl{n: n})            // want "boxes the value"
+	lbl := fmt.Sprintf("%d", n) // want "fmt.Sprintf formats into fresh allocations"
+
+	out := make([]int, 0, n) //p3q:alloc fresh result slice escapes to the caller
+
+	//p3q:alloc
+	// want-above "//p3q:alloc directive is missing a reason"
+	scratch := make([]int, n)
+
+	//p3q:alloc scratch
+	// want-above "stale //p3q:alloc directive: no flagged allocation on its line"
+	n += len(dst)
+
+	const pre = "a" + "b" // constant-folded: no allocation at run time
+	dst = append(dst, n)  // append is deliberately out of scope
+
+	_, _, _, _, _, _, _, _, _ = m, sl, p, q, cat, b, back, boxed, lbl
+	_, _, _ = out, scratch, pre
+	return len(dst)
+}
+
+// cold allocates freely: no //p3q:hotpath annotation, no findings.
+func cold(n int) map[int]int {
+	m := map[int]int{}
+	m[n] = n
+	return m
+}
+
+//p3q:hotpath
+// want-above "stale //p3q:hotpath directive: no function declaration starts on the line below it"
+
+var hotCounter int

@@ -1,0 +1,54 @@
+// Package scfixture exercises the snapshotcomplete analyzer: every field
+// of a checkpointed struct (here: one named Engine, under the core scope)
+// must be referenced on both the Snapshot path and the Restore path, or
+// carry //p3q:transient with a reason. The dropped field below is the
+// regression case: present in Restore, deliberately omitted from
+// Snapshot.
+package scfixture
+
+type Engine struct {
+	cycles  uint64
+	seq     uint64
+	dropped uint64 // want "field Engine.dropped is restored but never referenced on the Snapshot path"
+	ghost   uint64 // want "field Engine.ghost is captured by neither the Snapshot nor the Restore path"
+
+	//p3q:transient recomputed each cycle from cycles
+	memo []uint64
+
+	//p3q:transient
+	// want-above "//p3q:transient directive is missing a reason"
+	scratch []uint64
+
+	//p3q:transient stale claim: this field is in fact serialized
+	covered uint64 // want "stale //p3q:transient directive: field Engine.covered is referenced on both checkpoint paths"
+}
+
+// Snapshot heads the snapshot path; encodeTail is neither a root name
+// nor exported, so its references prove path membership is the
+// call-graph closure, not just the roots.
+func (e *Engine) Snapshot(out []uint64) []uint64 {
+	out = append(out, e.cycles)
+	return e.encodeTail(out)
+}
+
+func (e *Engine) encodeTail(out []uint64) []uint64 {
+	return append(out, e.seq, e.covered)
+}
+
+// Restore heads the restore path; decodeTail is reached through it.
+func Restore(in []uint64) *Engine {
+	e := &Engine{cycles: in[0]}
+	e.decodeTail(in[1:])
+	return e
+}
+
+func (e *Engine) decodeTail(in []uint64) {
+	e.seq = in[0]
+	e.covered = in[1]
+	e.dropped = in[2]
+}
+
+//p3q:transient not attached to any field
+// want-above "stale //p3q:transient directive: no field of a checkpointed struct starts on the line below it"
+
+var unrelated int

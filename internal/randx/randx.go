@@ -48,6 +48,13 @@ func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
 // plain round trip through State.
 func (s *Source) State() uint64 { return s.state }
 
+// Restore reconstructs a source whose stream continues exactly where a
+// source with the given State left off: the state is stored verbatim, so
+// Restore(s.State()) is a perfect round trip. The checkpoint codec pairs
+// it with State; the snapshotcomplete analyzer verifies the pair covers
+// every Source field.
+func Restore(state uint64) *Source { return &Source{state: state} }
+
 // Split derives an independent child source from this source and a label.
 // Two children split with different labels from the same parent state are
 // statistically independent; splitting does not advance the parent, so the

@@ -126,6 +126,19 @@ func (t Traffic) Since(prev Traffic) Traffic {
 	return d
 }
 
+// Snapshot returns the raw per-kind counters — the exact state the
+// checkpoint codec persists. Restore is its inverse; the
+// snapshotcomplete analyzer verifies the pair covers every Traffic
+// field.
+func (t Traffic) Snapshot() (msgs, bytes [numKinds]uint64) {
+	return t.Msgs, t.Bytes
+}
+
+// Restore overwrites the counter with state captured by Snapshot.
+func (t *Traffic) Restore(msgs, bytes [numKinds]uint64) {
+	t.Msgs, t.Bytes = msgs, bytes
+}
+
 // TotalMsgs returns the total message count across kinds.
 func (t Traffic) TotalMsgs() uint64 {
 	var s uint64

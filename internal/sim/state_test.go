@@ -59,6 +59,20 @@ func TestEventQueueRestoreRejectsBadInput(t *testing.T) {
 	}
 }
 
+func TestTrafficSnapshotRestoreRoundTrip(t *testing.T) {
+	n := NewNetwork(2)
+	n.Send(0, 1, MsgProfile, 64)
+	n.Send(1, 0, MsgQueryForward, 9)
+	src := n.Total()
+
+	msgs, bytes := src.Snapshot()
+	var dst Traffic
+	dst.Restore(msgs, bytes)
+	if dst != src {
+		t.Fatalf("restored Traffic = %+v, want %+v", dst, src)
+	}
+}
+
 func TestNetworkRestoreTraffic(t *testing.T) {
 	src := NewNetwork(3)
 	src.Send(0, 1, MsgProfile, 100)

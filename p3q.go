@@ -38,9 +38,13 @@
 // results, reached-sets and traffic counters — for every worker count
 // (and across repeated runs with the same seed). The contract is enforced
 // statically as well as by tests: the determinism linter (internal/lint,
-// run as `go run ./cmd/p3qlint ./...` or as a `go vet -vettool`) bans
-// order-sensitive map iteration, host-clock and ambient-randomness use,
-// and undisciplined RNG sharing in the engine packages.
+// run as `make lint` — which drives both `go run ./cmd/p3qlint ./...` and
+// the `go vet -vettool` path) bans order-sensitive map iteration,
+// host-clock and ambient-randomness use, and undisciplined RNG sharing in
+// the engine packages, enforces the plan/commit phase contract
+// (//p3q:phase), requires checkpointed structs to be fully covered by the
+// snapshot codec (//p3q:transient), and flags per-call allocations on
+// //p3q:hotpath functions.
 //
 // Delivery is synchronous by default — every message of a cycle lands at
 // the cycle boundary, the paper's PeerSim round model. Setting
