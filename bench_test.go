@@ -281,6 +281,24 @@ func reportPhaseMetrics(b *testing.B, e *p3q.Engine, plan0, commit0 time.Duratio
 	b.ReportMetric(float64(commit1-commit0)/float64(b.N), "commit-ns/op")
 }
 
+// allocBaseline snapshots the cumulative heap-allocation counter so the
+// engine benches can report the alloc-bytes/node budget the pooled plan
+// slots are held to. TotalAlloc is process-wide and keeps counting while
+// the timer is stopped, so callers snapshot right before the measured loop
+// and keep out-of-timer work inside it to a minimum.
+func allocBaseline() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.TotalAlloc
+}
+
+// reportAllocPerNode reports the heap bytes allocated per cycle per node
+// since the alloc0 baseline: the steady-state allocation budget the pooled
+// engine is measured against (see ARCHITECTURE.md, "Memory layout").
+func reportAllocPerNode(b *testing.B, users int, alloc0 uint64) {
+	b.ReportMetric(float64(allocBaseline()-alloc0)/float64(b.N)/float64(users), "alloc-B/node")
+}
+
 // BenchmarkLazyConvergence5k times one lazy-mode cycle over a 5000-user
 // population converging from Bootstrap, per worker count. The engine is
 // byte-for-byte deterministic in Workers, so every sub-bench performs the
@@ -301,11 +319,13 @@ func BenchmarkLazyConvergence5k(b *testing.B) {
 			e.Bootstrap()
 			e.RunLazy(2) // past the empty-network cold start
 			plan0, commit0 := e.PhaseDurations()
+			alloc0 := allocBaseline()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				e.LazyCycle()
 			}
 			b.StopTimer()
+			reportAllocPerNode(b, e.Users(), alloc0)
 			reportPhaseMetrics(b, e, plan0, commit0)
 		})
 	}
@@ -341,6 +361,7 @@ func BenchmarkEagerBurst5k(b *testing.B) {
 			}
 			issueBurst()
 			plan0, commit0 := e.PhaseDurations()
+			alloc0 := allocBaseline()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if e.AllQueriesDone() {
@@ -355,6 +376,7 @@ func BenchmarkEagerBurst5k(b *testing.B) {
 				e.EagerCycle()
 			}
 			b.StopTimer()
+			reportAllocPerNode(b, e.Users(), alloc0)
 			reportPhaseMetrics(b, e, plan0, commit0)
 		})
 	}
@@ -380,6 +402,62 @@ func BenchmarkLazyChurn5k(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e.LazyCycle()
 			}
+		})
+	}
+}
+
+// lazyBench100kData memoizes the 100k-user trace separately from the 5k
+// one: building it costs real time and memory, so it is only paid when the
+// 100k bench actually runs.
+var lazyBench100kData struct {
+	sync.Once
+	ds *p3q.Dataset
+}
+
+func lazyBench100kDataset(b *testing.B) *p3q.Dataset {
+	b.Helper()
+	lazyBench100kData.Do(func() {
+		params := p3q.DefaultTraceParams(100000)
+		params.MeanItems = 20
+		params.Seed = 7
+		lazyBench100kData.ds = p3q.GenerateTrace(params)
+	})
+	return lazyBench100kData.ds
+}
+
+// BenchmarkLazyConvergence100k is the million-node scaling probe: one lazy
+// cycle over a 100,000-user population, 20x the tracked 5k bench. The
+// pooled plan slots and dense hot-state layouts are sized to keep the
+// alloc-B/node metric flat between the two scales — a superlinear rise
+// here means a per-node cost snuck back into the cycle path.
+//
+// It is skipped under -short so the quick per-commit CI pass (which runs
+// every bench once) stays fast; the scheduled bench workflow runs it at
+// full length and tracks it alongside the 5k benches.
+func BenchmarkLazyConvergence100k(b *testing.B) {
+	if testing.Short() {
+		b.Skip("100k population bench skipped in -short mode")
+	}
+	for _, workers := range lazyWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ds := lazyBench100kDataset(b)
+			cfg := p3q.DefaultConfig()
+			cfg.S, cfg.C = 50, 10
+			cfg.BloomBits, cfg.BloomHashes = 2048, 6
+			cfg.Workers = workers
+			cfg.Seed = 7
+			e := p3q.NewEngine(ds, cfg)
+			e.Bootstrap()
+			e.RunLazy(1) // one warm-up cycle: enough to leave the cold start
+			plan0, commit0 := e.PhaseDurations()
+			alloc0 := allocBaseline()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.LazyCycle()
+			}
+			b.StopTimer()
+			reportAllocPerNode(b, e.Users(), alloc0)
+			reportPhaseMetrics(b, e, plan0, commit0)
 		})
 	}
 }

@@ -16,16 +16,21 @@
 // (goos, goarch, pkg, cpu) annotate the records that follow them.
 //
 // The -compare mode diffs two previously archived artifacts: it prints the
-// ns/op delta of every benchmark present in both, and exits non-zero when
-// a tracked benchmark (by default the BenchmarkLazyConvergence5k and
-// BenchmarkEagerBurst5k families, override with -track) slowed down by
-// more than -threshold (default 10%). CI runs it against the previous
-// commit's artifact when one exists.
+// ns/op and allocs/op deltas of every benchmark present in both, and exits
+// non-zero when a tracked benchmark (by default the
+// BenchmarkLazyConvergence5k, BenchmarkEagerBurst5k and
+// BenchmarkLazyConvergence100k families, override with -track) slowed down
+// or allocated more by more than -threshold (default 10%). The allocs/op
+// gate guards the pooled-plan engine: allocation counts are deterministic
+// where timings are noisy, so an allocation regression is meaningful even
+// at -benchtime=1x. CI runs the comparison against the previous commit's
+// artifact when one exists.
 //
 // The -history mode renders the benchmark trajectory across any number of
 // archived artifacts: one row per (artifact, tracked benchmark) with
-// ns/op and the plan-ns/op / commit-ns/op phase split the engine benches
-// report, as a markdown table (or CSV with -csv). Rows follow the argument
+// ns/op, allocs/op, B/op, the alloc-B/node budget metric, and the
+// plan-ns/op / commit-ns/op phase split the engine benches report, as a
+// markdown table (or CSV with -csv). Rows follow the argument
 // order, so pass artifacts oldest first — BENCH_<sha>.json names are not
 // chronological, so expand globs by download/file time, e.g.:
 //
@@ -64,8 +69,9 @@ type Report struct {
 
 // defaultTracked is the benchmark families whose regressions fail the
 // -compare mode: the two 5000-user engine benches the ROADMAP tracks
-// across commits.
-const defaultTracked = "BenchmarkLazyConvergence5k,BenchmarkEagerBurst5k"
+// across commits, plus the 100k scaling probe the scheduled bench
+// workflow runs.
+const defaultTracked = "BenchmarkLazyConvergence5k,BenchmarkEagerBurst5k,BenchmarkLazyConvergence100k"
 
 func main() {
 	out := flag.String("o", "", "output file (default: stdout)")
@@ -169,21 +175,25 @@ func benchKey(r Result) string {
 	return r.Pkg + " " + name
 }
 
-// compareReports prints the ns/op delta of every benchmark present in both
-// reports and returns the number of tracked regressions: tracked
-// benchmarks (matched by name prefix) whose ns/op grew by more than
-// threshold. Benchmarks missing from either side are skipped — a renamed
-// or new bench is not a regression.
+// compareReports prints the ns/op and allocs/op deltas of every benchmark
+// present in both reports and returns the number of tracked regressions:
+// tracked benchmarks (matched by name prefix) whose ns/op OR allocs/op
+// grew by more than threshold. Allocation counts are deterministic where
+// timings are noisy, so the allocs/op gate holds even on the short
+// per-commit runs; benchmarks without memory metrics on either side (older
+// artifacts, runs without -benchmem) are gated on ns/op alone. Benchmarks
+// missing from either side are skipped — a renamed or new bench is not a
+// regression.
 func compareReports(oldRep, newRep *Report, tracked []string, threshold float64, w io.Writer) int {
 	// First occurrence wins on both sides: artifacts holding several -cpu
 	// variants of one benchmark (whose -P suffixes strip to the same key)
 	// must resolve to the same variant in both reports.
-	oldNs := make(map[string]float64, len(oldRep.Results))
+	oldM := make(map[string]map[string]float64, len(oldRep.Results))
 	for _, r := range oldRep.Results {
 		k := benchKey(r)
 		if ns, ok := r.Metrics["ns/op"]; ok && ns > 0 {
-			if _, dup := oldNs[k]; !dup {
-				oldNs[k] = ns
+			if _, dup := oldM[k]; !dup {
+				oldM[k] = r.Metrics
 			}
 		}
 	}
@@ -198,32 +208,42 @@ func compareReports(oldRep, newRep *Report, tracked []string, threshold float64,
 	}
 	regressions := 0
 	keys := make([]string, 0, len(newRep.Results))
-	newNs := make(map[string]float64, len(newRep.Results))
+	newM := make(map[string]map[string]float64, len(newRep.Results))
 	for _, r := range newRep.Results {
 		k := benchKey(r)
-		if ns, ok := r.Metrics["ns/op"]; ok {
-			if _, dup := newNs[k]; !dup {
+		if _, ok := r.Metrics["ns/op"]; ok {
+			if _, dup := newM[k]; !dup {
 				keys = append(keys, k)
-				newNs[k] = ns
+				newM[k] = r.Metrics
 			}
 		}
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		old, ok := oldNs[k]
+		old, ok := oldM[k]
 		if !ok {
 			continue
 		}
-		delta := (newNs[k] - old) / old
+		nw := newM[k]
+		nsDelta := (nw["ns/op"] - old["ns/op"]) / old["ns/op"]
+		line := fmt.Sprintf("%-60s %14.0f -> %14.0f ns/op  %+6.1f%%", k, old["ns/op"], nw["ns/op"], 100*nsDelta)
+		allocDelta, haveAllocs := 0.0, false
+		if oa, oaok := old["allocs/op"]; oaok && oa > 0 {
+			if na, naok := nw["allocs/op"]; naok {
+				haveAllocs = true
+				allocDelta = (na - oa) / oa
+				line += fmt.Sprintf("  %10.0f -> %10.0f allocs/op  %+6.1f%%", oa, na, 100*allocDelta)
+			}
+		}
 		mark := ""
 		if isTracked(k) {
 			mark = " [tracked]"
-			if delta > threshold {
+			if nsDelta > threshold || (haveAllocs && allocDelta > threshold) {
 				mark = " [REGRESSION]"
 				regressions++
 			}
 		}
-		fmt.Fprintf(w, "%-60s %14.0f -> %14.0f ns/op  %+6.1f%%%s\n", k, old, newNs[k], 100*delta, mark)
+		fmt.Fprintln(w, line+mark)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "%d tracked benchmark(s) regressed beyond %.0f%%\n", regressions, 100*threshold)
@@ -236,17 +256,21 @@ type historyRow struct {
 	artifact  string
 	benchmark string
 	ns        float64
-	plan      float64 // plan-ns/op, 0 when the benchmark does not report it
+	allocs    float64 // allocs/op, 0 when the run lacked -benchmem
+	bytes     float64 // B/op, likewise
+	allocNode float64 // alloc-B/node, 0 when the benchmark does not report it
+	plan      float64 // plan-ns/op, likewise
 	commit    float64 // commit-ns/op, likewise
 }
 
-// historyTable renders the tracked benchmarks' ns/op and plan/commit phase
-// split across the given artifacts (in argument order — pass oldest first)
-// as a markdown table, or CSV when csv is set. This is the
-// benchmark-trajectory view of the ROADMAP: the plan and commit columns
-// come from the custom metrics the 5k engine benches report, so the
-// historical Amdahl limit (the commit phase share) stays visible across
-// commits.
+// historyTable renders the tracked benchmarks' ns/op, memory metrics and
+// plan/commit phase split across the given artifacts (in argument order —
+// pass oldest first) as a markdown table, or CSV when csv is set. This is
+// the benchmark-trajectory view of the ROADMAP: the plan and commit
+// columns come from the custom metrics the 5k engine benches report, so
+// the historical Amdahl limit (the commit phase share) stays visible
+// across commits, and the allocs/op and alloc-B/node columns track the
+// pooled engine's allocation budget the same way.
 func historyTable(paths []string, tracked []string, csv bool, w io.Writer) error {
 	isTracked := func(name string) bool {
 		for _, p := range tracked {
@@ -278,6 +302,9 @@ func historyTable(paths []string, tracked []string, csv bool, w io.Writer) error
 				artifact:  filepath.Base(path),
 				benchmark: name,
 				ns:        ns,
+				allocs:    r.Metrics["allocs/op"],
+				bytes:     r.Metrics["B/op"],
+				allocNode: r.Metrics["alloc-B/node"],
 				plan:      r.Metrics["plan-ns/op"],
 				commit:    r.Metrics["commit-ns/op"],
 			})
@@ -295,7 +322,9 @@ func historyTable(paths []string, tracked []string, csv bool, w io.Writer) error
 		return nil
 	}
 
-	phase := func(v float64) string {
+	// Optional metrics render as blanks when absent (older artifacts, runs
+	// without -benchmem), keeping the columns aligned across a mixed series.
+	opt := func(v float64) string {
 		if v == 0 {
 			return ""
 		}
@@ -308,18 +337,20 @@ func historyTable(paths []string, tracked []string, csv bool, w io.Writer) error
 		return fmt.Sprintf("%.1f%%", 100*r.plan/(r.plan+r.commit))
 	}
 	if csv {
-		fmt.Fprintln(w, "artifact,benchmark,ns/op,plan-ns/op,commit-ns/op,plan share")
+		fmt.Fprintln(w, "artifact,benchmark,ns/op,allocs/op,B/op,alloc-B/node,plan-ns/op,commit-ns/op,plan share")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s,%s,%.0f,%s,%s,%s\n",
-				r.artifact, r.benchmark, r.ns, phase(r.plan), phase(r.commit), planShare(r))
+			fmt.Fprintf(w, "%s,%s,%.0f,%s,%s,%s,%s,%s,%s\n",
+				r.artifact, r.benchmark, r.ns, opt(r.allocs), opt(r.bytes), opt(r.allocNode),
+				opt(r.plan), opt(r.commit), planShare(r))
 		}
 		return nil
 	}
-	fmt.Fprintln(w, "| artifact | benchmark | ns/op | plan-ns/op | commit-ns/op | plan share |")
-	fmt.Fprintln(w, "| --- | --- | ---: | ---: | ---: | ---: |")
+	fmt.Fprintln(w, "| artifact | benchmark | ns/op | allocs/op | B/op | alloc-B/node | plan-ns/op | commit-ns/op | plan share |")
+	fmt.Fprintln(w, "| --- | --- | ---: | ---: | ---: | ---: | ---: | ---: | ---: |")
 	for _, r := range rows {
-		fmt.Fprintf(w, "| %s | %s | %.0f | %s | %s | %s |\n",
-			r.artifact, r.benchmark, r.ns, phase(r.plan), phase(r.commit), planShare(r))
+		fmt.Fprintf(w, "| %s | %s | %.0f | %s | %s | %s | %s | %s | %s |\n",
+			r.artifact, r.benchmark, r.ns, opt(r.allocs), opt(r.bytes), opt(r.allocNode),
+			opt(r.plan), opt(r.commit), planShare(r))
 	}
 	return nil
 }

@@ -96,6 +96,65 @@ func TestCompareFlagsTrackedRegression(t *testing.T) {
 	}
 }
 
+// mkMemReport builds a one-package report where each benchmark carries
+// ns/op, allocs/op and B/op, from (name -> [ns, allocs, bytes]) triples.
+func mkMemReport(m map[string][3]float64) *Report {
+	rep := &Report{}
+	for name, v := range m {
+		rep.Results = append(rep.Results, Result{
+			Name: name, Pkg: "p3q", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": v[0], "allocs/op": v[1], "B/op": v[2]},
+		})
+	}
+	return rep
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	// Faster but allocating more: the allocs/op gate must flag it even
+	// though ns/op improved — allocation counts are the deterministic
+	// signal on noisy short runs.
+	oldRep := mkMemReport(map[string][3]float64{
+		"BenchmarkLazyConvergence5k/workers=1-8": {100, 1000, 4096},
+	})
+	newRep := mkMemReport(map[string][3]float64{
+		"BenchmarkLazyConvergence5k/workers=1-8": {80, 1500, 4096},
+	})
+	var out strings.Builder
+	if n := compareReports(oldRep, newRep, splitTracked(defaultTracked), 0.10, &out); n != 1 {
+		t.Fatalf("regressions = %d, want 1 (allocs/op +50%%)\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") || !strings.Contains(out.String(), "[REGRESSION]") {
+		t.Fatalf("allocs/op regression not reported:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocsMissingFromOldSide(t *testing.T) {
+	// Artifacts predating -benchmem have no allocs/op: the comparison must
+	// fall back to the ns/op gate alone instead of failing or flagging.
+	oldRep := mkReport(map[string]float64{
+		"BenchmarkLazyConvergence5k/workers=1-8": 100,
+	})
+	newRep := mkMemReport(map[string][3]float64{
+		"BenchmarkLazyConvergence5k/workers=1-8": {95, 1500, 4096},
+	})
+	var out strings.Builder
+	if n := compareReports(oldRep, newRep, splitTracked(defaultTracked), 0.10, &out); n != 0 {
+		t.Fatalf("regressions = %d, want 0 (no old-side allocs to compare)\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "[tracked]") {
+		t.Fatalf("tracked mark missing:\n%s", out.String())
+	}
+}
+
+func TestCompareTracks100kFamily(t *testing.T) {
+	oldRep := mkReport(map[string]float64{"BenchmarkLazyConvergence100k/workers=1-8": 100})
+	newRep := mkReport(map[string]float64{"BenchmarkLazyConvergence100k/workers=1-8": 150})
+	var out strings.Builder
+	if n := compareReports(oldRep, newRep, splitTracked(defaultTracked), 0.10, &out); n != 1 {
+		t.Fatalf("regressions = %d, want 1 (100k family is tracked by default)\n%s", n, out.String())
+	}
+}
+
 func TestCompareCleanRun(t *testing.T) {
 	oldRep := mkReport(map[string]float64{
 		"BenchmarkLazyConvergence5k/workers=1-8": 100,
@@ -158,7 +217,10 @@ func TestHistoryTable(t *testing.T) {
 	mk := func(ns, plan, commit float64) *Report {
 		return &Report{Results: []Result{
 			{Name: "BenchmarkLazyConvergence5k/workers=1-8", Pkg: "p3q", Iterations: 1,
-				Metrics: map[string]float64{"ns/op": ns, "plan-ns/op": plan, "commit-ns/op": commit}},
+				Metrics: map[string]float64{
+					"ns/op": ns, "plan-ns/op": plan, "commit-ns/op": commit,
+					"allocs/op": 1200, "B/op": 65536, "alloc-B/node": 13,
+				}},
 			{Name: "BenchmarkUntracked-8", Pkg: "p3q", Iterations: 1,
 				Metrics: map[string]float64{"ns/op": 1}},
 		}}
@@ -172,8 +234,8 @@ func TestHistoryTable(t *testing.T) {
 	}
 	got := out.String()
 	for _, want := range []string{
-		"| BENCH_aaa.json | BenchmarkLazyConvergence5k/workers=1 | 1000 | 600 | 300 | 66.7% |",
-		"| BENCH_bbb.json | BenchmarkLazyConvergence5k/workers=1 | 900 | 500 | 320 | 61.0% |",
+		"| BENCH_aaa.json | BenchmarkLazyConvergence5k/workers=1 | 1000 | 1200 | 65536 | 13 | 600 | 300 | 66.7% |",
+		"| BENCH_bbb.json | BenchmarkLazyConvergence5k/workers=1 | 900 | 1200 | 65536 | 13 | 500 | 320 | 61.0% |",
 	} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("history table missing %q:\n%s", want, got)
@@ -187,8 +249,26 @@ func TestHistoryTable(t *testing.T) {
 	if err := historyTable([]string{a, b}, splitTracked(defaultTracked), true, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "BENCH_aaa.json,BenchmarkLazyConvergence5k/workers=1,1000,600,300,66.7%") {
+	if !strings.Contains(out.String(), "BENCH_aaa.json,BenchmarkLazyConvergence5k/workers=1,1000,1200,65536,13,600,300,66.7%") {
 		t.Fatalf("CSV history missing row:\n%s", out.String())
+	}
+}
+
+func TestHistoryTableBlanksMissingMemoryMetrics(t *testing.T) {
+	// Artifacts from before -benchmem carry no memory metrics: their rows
+	// render blank cells in those columns rather than zeros or errors.
+	dir := t.TempDir()
+	rep := &Report{Results: []Result{
+		{Name: "BenchmarkLazyConvergence5k/workers=1-8", Pkg: "p3q", Iterations: 1,
+			Metrics: map[string]float64{"ns/op": 1000, "plan-ns/op": 600, "commit-ns/op": 300}},
+	}}
+	p := writeArtifact(t, dir, "BENCH_old.json", rep)
+	var out strings.Builder
+	if err := historyTable([]string{p}, splitTracked(defaultTracked), false, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "| BENCH_old.json | BenchmarkLazyConvergence5k/workers=1 | 1000 |  |  |  | 600 | 300 | 66.7% |") {
+		t.Fatalf("pre-benchmem artifact row misrendered:\n%s", out.String())
 	}
 }
 
@@ -234,7 +314,7 @@ func TestHistoryTableSingleArtifact(t *testing.T) {
 	if err := historyTable([]string{p}, splitTracked(defaultTracked), false, &out); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out.String(), "| BENCH_only.json | BenchmarkEagerBurst5k/workers=1 | 700 | 400 | 200 | 66.7% |") {
+	if !strings.Contains(out.String(), "| BENCH_only.json | BenchmarkEagerBurst5k/workers=1 | 700 |  |  |  | 400 | 200 | 66.7% |") {
 		t.Fatalf("single-artifact history row missing:\n%s", out.String())
 	}
 }

@@ -122,7 +122,8 @@ func (f *Filter) Hashes() int { return f.k }
 func (f *Filter) SizeBytes() int { return int(f.m) / 8 }
 
 // AddCount returns the number of Add calls performed (with duplicate keys
-// counted each time).
+// counted each time). Union adds the other side's count; Reset zeroes it.
+// It is an insertion tally, not a distinct-key cardinality.
 func (f *Filter) AddCount() int { return f.count }
 
 // FillRatio returns the fraction of bits set.
@@ -180,7 +181,9 @@ func (f *Filter) Union(g *Filter) {
 	f.count += g.count
 }
 
-// Reset clears all bits.
+// Reset clears all bits and zeroes the AddCount tally, returning the
+// filter to its post-New state while keeping the geometry (and the backing
+// allocation) intact — a Reset filter is Equal to a fresh New(m, k).
 func (f *Filter) Reset() {
 	for i := range f.bits {
 		f.bits[i] = 0

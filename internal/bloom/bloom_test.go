@@ -111,6 +111,29 @@ func TestGeometryClamps(t *testing.T) {
 	}
 }
 
+func TestNewRoundsUpToWord(t *testing.T) {
+	// New documents rounding m up to a multiple of 64 (the word size of
+	// the backing array), never down: exact-word sizes stay put, anything
+	// else lands on the next word boundary, and SizeBytes follows.
+	cases := []struct{ m, wantBits int }{
+		{-5, 64}, {0, 64}, {1, 64}, {63, 64}, {64, 64},
+		{65, 128}, {127, 128}, {128, 128}, {129, 192},
+		{2048, 2048}, {DefaultBits, DefaultBits}, {DefaultBits + 1, DefaultBits + 64},
+	}
+	for _, c := range cases {
+		f := New(c.m, 4)
+		if f.Bits() != c.wantBits {
+			t.Errorf("New(%d).Bits() = %d, want %d", c.m, f.Bits(), c.wantBits)
+		}
+		if f.SizeBytes() != c.wantBits/8 {
+			t.Errorf("New(%d).SizeBytes() = %d, want %d", c.m, f.SizeBytes(), c.wantBits/8)
+		}
+	}
+	if f := New(64, -3); f.Hashes() != 1 {
+		t.Errorf("New(64, -3).Hashes() = %d, want clamp to 1", f.Hashes())
+	}
+}
+
 func TestNewWithEstimateDegenerateArgs(t *testing.T) {
 	for _, p := range []float64{-1, 0, 1, 2} {
 		f := NewWithEstimate(0, p)
@@ -194,6 +217,50 @@ func TestReset(t *testing.T) {
 	}
 	if f.FillRatio() != 0 {
 		t.Fatalf("FillRatio after Reset = %f, want 0", f.FillRatio())
+	}
+}
+
+func TestResetRestoresPostNewState(t *testing.T) {
+	// Reset documents returning the filter to its post-New state: Equal to
+	// a fresh filter of the same geometry, and refilling it reproduces the
+	// exact bit pattern a fresh filter would — the property digest pooling
+	// relies on when it reuses a filter across rebuilds.
+	f := New(1024, 4)
+	for i := uint64(0); i < 40; i++ {
+		f.Add(i * 977)
+	}
+	f.Reset()
+	if fresh := New(1024, 4); !f.Equal(fresh) {
+		t.Fatal("Reset filter not Equal to a fresh same-geometry filter")
+	}
+	g := New(1024, 4)
+	for i := uint64(0); i < 20; i++ {
+		f.Add(i)
+		g.Add(i)
+	}
+	if !f.Equal(g) || f.AddCount() != g.AddCount() {
+		t.Fatal("refilled Reset filter diverged from a fresh filter")
+	}
+}
+
+func TestAddCountTallySemantics(t *testing.T) {
+	// AddCount is an insertion tally, not a distinct-key cardinality:
+	// duplicates count each time, and Union sums both sides.
+	f := New(1024, 4)
+	f.Add(7)
+	f.Add(7)
+	if f.AddCount() != 2 {
+		t.Fatalf("AddCount after duplicate Add = %d, want 2", f.AddCount())
+	}
+	g := New(1024, 4)
+	g.Add(8)
+	f.Union(g)
+	if f.AddCount() != 3 {
+		t.Fatalf("AddCount after Union = %d, want 3 (2 + 1)", f.AddCount())
+	}
+	f.Reset()
+	if f.AddCount() != 0 {
+		t.Fatalf("AddCount after Reset = %d, want 0", f.AddCount())
 	}
 }
 

@@ -101,15 +101,15 @@ func (e *Engine) eagerCycleAsync() {
 			n.digest()
 			n.checkEvalCache()
 		})
-		plans := make([]*eagerPlan, len(pairs))
+		plans := e.eagerPlanSlots(len(pairs))
 		e.forEachIndex(len(pairs), func(i int) {
-			plans[i] = e.planEagerGossip(pairs[i], seq)
+			e.planEagerGossipInto(pairs[i], seq, &plans[i])
 		})
 		e.planDur += sw.Elapsed()
 		sw = hostclock.Start()
 		e.commitSharded(func(sh *commitShard) {
-			for _, p := range plans {
-				e.commitEagerGossipShardAsync(p, sh)
+			for i := range plans {
+				e.commitEagerGossipShardAsync(&plans[i], sh)
 			}
 		})
 		e.scheduleEagerGossips(plans, seq, t0)
@@ -134,7 +134,7 @@ func (e *Engine) eagerCycleAsync() {
 //p3q:phase commit
 func (e *Engine) commitEagerGossipShardAsync(p *eagerPlan, sh *commitShard) {
 	if sh.owns(p.u) {
-		sh.ledger.Merge(p.ledger)
+		sh.ledger.Merge(&p.ledger)
 	}
 	if !p.ok {
 		return
@@ -146,14 +146,14 @@ func (e *Engine) commitEagerGossipShardAsync(p *eagerPlan, sh *commitShard) {
 		// subtraction, exactly as in the synchronous committer.
 		next := subtractMembers(u.branches[p.qid], p.branch)
 		if len(next) > 0 {
-			u.branches[p.qid] = next
+			u.setBranch(p.qid, next)
 		} else {
 			delete(u.branches, p.qid)
 			p.branchEmptied = true
 		}
 	}
 
-	peerBytes, selfBytes := e.commitTopExchangeShard(u, dest, p.exch, sh)
+	peerBytes, selfBytes := e.commitTopExchangeShard(u, dest, &p.exch, sh)
 	if sh.owns(dest.id) {
 		p.peerBytes = peerBytes
 	}
@@ -173,9 +173,10 @@ func (e *Engine) commitEagerGossipShardAsync(p *eagerPlan, sh *commitShard) {
 // each plan's deliveries into timestamped events. Latency draws come from
 // per-event split streams labelled by (cycle, pair index, message), so the
 // schedule is a pure function of the cycle-start state.
-func (e *Engine) scheduleEagerGossips(plans []*eagerPlan, seq uint64, t0 time.Duration) {
-	lrng := e.latRng.Split(seq)
-	for i, p := range plans {
+func (e *Engine) scheduleEagerGossips(plans []eagerPlan, seq uint64, t0 time.Duration) {
+	lrng := e.latRng.Derive(seq)
+	for i := range plans {
+		p := &plans[i]
 		qr := e.queries[p.qid]
 		t := p.ledger.Total()
 		qr.bytes.Forwarded += t.Bytes[sim.MsgQueryForward]
@@ -187,11 +188,13 @@ func (e *Engine) scheduleEagerGossips(plans []*eagerPlan, seq uint64, t0 time.Du
 		qr.reached[p.dest] = struct{}{}
 		qr.bytes.Maintenance += p.exch.ledger.Total().TotalBytes() + p.peerBytes + p.selfBytes
 
-		prng := lrng.Split(uint64(i))
-		dF := e.cfg.Latency.Delay(p.u, p.dest, sim.MsgQueryForward, prng.Split(0))
+		prng := lrng.Derive(uint64(i))
+		frng := prng.Derive(0)
+		dF := e.cfg.Latency.Delay(p.u, p.dest, sim.MsgQueryForward, &frng)
 		tA := t0 + dF
 		if p.delivered {
-			dP := e.cfg.Latency.Delay(p.dest, qr.Query.Querier, sim.MsgPartialResult, prng.Split(1))
+			drng := prng.Derive(1)
+			dP := e.cfg.Latency.Delay(p.dest, qr.Query.Querier, sim.MsgPartialResult, &drng)
 			e.scheduleEagerEvent(tA+dP, &eagerEvent{
 				kind: evDeliverPartial, qid: p.qid, node: qr.Query.Querier,
 				plist: p.plist, owners: p.foundOwners,
@@ -203,7 +206,8 @@ func (e *Engine) scheduleEagerGossips(plans []*eagerPlan, seq uint64, t0 time.Du
 			})
 		}
 		if len(p.returned) > 0 {
-			dR := e.cfg.Latency.Delay(p.dest, p.u, sim.MsgQueryReturn, prng.Split(2))
+			rrng := prng.Derive(2)
+			dR := e.cfg.Latency.Delay(p.dest, p.u, sim.MsgQueryReturn, &rrng)
 			e.scheduleEagerEvent(tA+dR, &eagerEvent{
 				kind: evBranchReturn, qid: p.qid, node: p.u, members: p.returned,
 			})
@@ -276,7 +280,7 @@ func (e *Engine) applyEagerEvent(ev *eagerEvent, at time.Duration) {
 		qr.deliverAsync(ev.plist, ev.owners, at)
 	case evBranchKeep, evBranchReturn:
 		n := e.nodes[ev.node]
-		n.branches[ev.qid] = mergeUnique(n.branches[ev.qid], ev.members)
+		n.setBranch(ev.qid, mergeUnique(n.branches[ev.qid], ev.members))
 		qr.activeNodes[ev.node] = struct{}{}
 	}
 	qr.maybeSettle(at, e.cycleSeq-1)

@@ -493,11 +493,10 @@ func (e *Engine) writeNode(cw *ckpt.Writer, n *Node) {
 
 func (rs *restorer) readNode(id tagging.UserID) *Node {
 	n := &Node{
-		id:       id,
-		e:        rs.e,
-		profile:  rs.ds.Profiles[id],
-		rng:      randx.Restore(rs.r.U64()),
-		branches: make(map[uint64][]tagging.UserID),
+		id:      id,
+		e:       rs.e,
+		profile: rs.ds.Profiles[id],
+		rng:     randx.Restore(rs.r.U64()),
 	}
 
 	n.evalVersion = int(rs.r.U32())
@@ -571,16 +570,18 @@ func (rs *restorer) readNode(id tagging.UserID) *Node {
 		if rs.r.Err() != nil {
 			break
 		}
-		en := &Entry{ID: owner, Score: score, Digest: rs.digestFor(owner, version), Stored: stored, pn: n.pnet, last: last}
+		en := Entry{ID: owner, Score: score, Digest: rs.digestFor(owner, version), Stored: stored, last: last}
 		if ln := len(n.pnet.ranking); ln > 0 {
-			p := n.pnet.ranking[ln-1]
+			p := &n.pnet.ranking[ln-1]
 			if !rankBefore(p.Score, p.ID, en.Score, en.ID) {
 				rs.r.Fail("node %d: personal network ranking out of order at neighbour %d", id, owner)
 				break
 			}
 		}
-		n.pnet.entries[owner] = en
-		n.pnet.ranking = append(n.pnet.ranking, en)
+		// The entries arrive in rank order (just validated), so the dense
+		// layout is rebuilt by plain appends; appendEntry re-attaches the
+		// owning-network pointer and feeds the by-owner index.
+		n.pnet.appendEntry(en)
 	}
 
 	nBr := rs.r.Count(maxEvents)
@@ -592,7 +593,7 @@ func (rs *restorer) readNode(id tagging.UserID) *Node {
 			break
 		}
 		prevQID = qid
-		n.branches[qid] = rs.readUserList(rs.users)
+		n.setBranch(qid, rs.readUserList(rs.users))
 	}
 	return n
 }

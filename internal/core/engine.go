@@ -89,6 +89,24 @@ type Engine struct {
 	//
 	//p3q:transient host-side telemetry, deliberately outside the checkpoint (see Snapshot)
 	planDur, commitDur time.Duration
+
+	// Pooled per-cycle scratch. Every cycle re-initializes the slots it
+	// uses (a slot's used flag gates the committers), so the only state
+	// that survives a cycle is buffer capacity — a steady-state cycle plans
+	// and commits without allocating.
+	//
+	//p3q:transient per-cycle plan pool, fully re-initialized by each lazy cycle
+	vplans []viewPlan
+	//p3q:transient per-cycle plan pool, fully re-initialized by each lazy cycle
+	tplans []topPlan
+	//p3q:transient per-cycle plan pool, fully re-initialized by each eager cycle
+	eplans []eagerPlan
+	//p3q:transient per-cycle gossip-pair scratch, rebuilt by each eager cycle
+	pairsBuf []eagerPair
+	//p3q:transient per-cycle permutation scratch, overwritten by each cycle
+	permBuf []int
+	//p3q:transient per-commit-phase shard scratch, re-initialized by commitSharded
+	shards []commitShard
 }
 
 // New builds an engine over the dataset. Nodes start with empty personal
@@ -113,13 +131,12 @@ func New(ds *trace.Dataset, cfg Config) *Engine {
 	for u := 0; u < ds.Users(); u++ {
 		id := tagging.UserID(u)
 		e.nodes[u] = &Node{
-			id:       id,
-			e:        e,
-			profile:  ds.Profiles[u],
-			pnet:     NewPersonalNetwork(id, cfg.S, cfg.capacityOf(id)),
-			view:     gossip.NewView(id, cfg.R),
-			rng:      root.Split(uint64(u) + 1),
-			branches: make(map[uint64][]tagging.UserID),
+			id:      id,
+			e:       e,
+			profile: ds.Profiles[u],
+			pnet:    NewPersonalNetwork(id, cfg.S, cfg.capacityOf(id)),
+			view:    gossip.NewView(id, cfg.R),
+			rng:     root.Split(uint64(u) + 1),
 		}
 	}
 	return e
@@ -231,7 +248,8 @@ func (e *Engine) LazyCycle() {
 	if e.cfg.Latency != nil {
 		e.replayFrozen()
 	}
-	order := e.rng.Perm(len(e.nodes))
+	order := e.rng.PermInto(e.permBuf, len(e.nodes))
+	e.permBuf = order
 	seq := e.cycleSeq
 	e.cycleSeq++
 
@@ -246,11 +264,17 @@ func (e *Engine) LazyCycle() {
 		n.pnet.Prepare()
 	})
 
-	// Round 1: bottom-layer peer sampling.
-	vplans := make([]*viewPlan, len(e.nodes))
+	// Round 1: bottom-layer peer sampling, planned into the pooled slots
+	// (an offline node's slot keeps used=false so a stale plan from a
+	// previous cycle can never leak into the commit).
+	if len(e.vplans) < len(e.nodes) {
+		e.vplans = make([]viewPlan, len(e.nodes))
+	}
 	e.forEachNode(func(n *Node) {
+		p := &e.vplans[n.id]
+		p.used = false
 		if e.net.Online(n.id) {
-			vplans[n.id] = e.planView(n, seq)
+			e.planViewInto(n, seq, p)
 		}
 	})
 	e.planDur += sw.Elapsed()
@@ -258,7 +282,7 @@ func (e *Engine) LazyCycle() {
 	e.commitSharded(func(sh *commitShard) {
 		for _, i := range order {
 			if e.net.Online(e.nodes[i].id) {
-				e.commitViewShard(e.nodes[i], vplans[i], sh)
+				e.commitViewShard(e.nodes[i], &e.vplans[i], sh)
 			}
 		}
 	})
@@ -267,10 +291,14 @@ func (e *Engine) LazyCycle() {
 	// Round 2: top-layer personal network gossip plus random-view
 	// evaluation, planned against the round-1-committed views.
 	sw = hostclock.Start()
-	tplans := make([]*topPlan, len(e.nodes))
+	if len(e.tplans) < len(e.nodes) {
+		e.tplans = make([]topPlan, len(e.nodes))
+	}
 	e.forEachNode(func(n *Node) {
+		p := &e.tplans[n.id]
+		p.used = false
 		if e.net.Online(n.id) {
-			tplans[n.id] = e.planTop(n, seq)
+			e.planTopInto(n, seq, p)
 		}
 	})
 	e.planDur += sw.Elapsed()
@@ -278,7 +306,7 @@ func (e *Engine) LazyCycle() {
 	e.commitSharded(func(sh *commitShard) {
 		for _, i := range order {
 			if e.net.Online(e.nodes[i].id) {
-				e.commitTopShard(e.nodes[i], tplans[i], sh)
+				e.commitTopShard(e.nodes[i], &e.tplans[i], sh)
 			}
 		}
 	})
@@ -301,7 +329,7 @@ func (e *Engine) LazyCycle() {
 // naive.
 type commitShard struct {
 	lo, hi tagging.UserID
-	ledger *sim.Ledger
+	ledger sim.Ledger
 	naive  uint64
 }
 
@@ -328,11 +356,16 @@ func (e *Engine) commitSharded(apply func(sh *commitShard)) {
 		workers = 1
 	}
 	size := (n + workers - 1) / workers
-	shards := make([]commitShard, workers)
+	if cap(e.shards) < workers {
+		e.shards = make([]commitShard, workers)
+	}
+	shards := e.shards[:workers]
 	for i := range shards {
 		lo := min(i*size, n)
 		hi := min(lo+size, n)
-		shards[i] = commitShard{lo: tagging.UserID(lo), hi: tagging.UserID(hi), ledger: e.net.NewLedger()}
+		shards[i].lo, shards[i].hi = tagging.UserID(lo), tagging.UserID(hi)
+		shards[i].naive = 0
+		e.net.InitLedger(&shards[i].ledger)
 	}
 	if workers == 1 {
 		apply(&shards[0])
@@ -348,7 +381,7 @@ func (e *Engine) commitSharded(apply func(sh *commitShard)) {
 		wg.Wait()
 	}
 	for i := range shards {
-		e.net.Commit(shards[i].ledger)
+		e.net.Commit(&shards[i].ledger)
 		e.naiveExchangeBytes += shards[i].naive
 	}
 }

@@ -148,7 +148,7 @@ func TestPnetInvariantsUnderRandomUpserts(t *testing.T) {
 		}
 		// Stored entries are a prefix of the ranking.
 		for i, e := range stored {
-			if ranking[i] != e {
+			if ranking[i].ID != e.ID {
 				return false
 			}
 		}

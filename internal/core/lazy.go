@@ -73,41 +73,49 @@ func planLabel(seq, purpose uint64, peer tagging.UserID) uint64 {
 // viewPlan is one node's planned bottom-layer exchange: the selected
 // partner, both send buffers (computed against the cycle-start views), the
 // split streams the commit-time merges will draw from, and the message
-// ledger.
+// ledger. Plans live in the engine's pooled vplans slice: every field is
+// either a value re-initialized per cycle or a scratch buffer that reuses
+// its capacity, so a steady-state cycle plans without allocating.
 type viewPlan struct {
-	ledger     *sim.Ledger
+	used       bool // false: slot idle this cycle (offline node or empty view)
+	ledger     sim.Ledger
 	partner    tagging.UserID
 	dead       bool // partner departed: drop it from the view
 	bufA, bufB []gossip.Descriptor
-	rngA, rngB *randx.Source
+	smpA, smpB randx.Sampler
+	rngA, rngB randx.Source
 }
 
-// planView plans one bottom-layer gossip for node a: pick a uniform
-// partner from the random view, swap r digests, re-sample both views. It
-// returns nil when the view is empty.
+// planViewInto plans one bottom-layer gossip for node a into the pooled
+// plan slot p: pick a uniform partner from the random view, swap r digests,
+// re-sample both views. The slot stays unused when the view is empty.
 //
 //p3q:phase plan
-func (e *Engine) planView(a *Node, seq uint64) *viewPlan {
-	rng := a.rng.Split(planLabel(seq, purposeView, 0))
+//p3q:hotpath
+func (e *Engine) planViewInto(a *Node, seq uint64, p *viewPlan) {
+	p.used = false
+	p.rngA = a.rng.Derive(planLabel(seq, purposeView, 0))
+	rng := &p.rngA
 	d, ok := a.view.SelectPartner(rng)
 	if !ok {
-		return nil
+		return
 	}
-	p := &viewPlan{ledger: e.net.NewLedger(), partner: d.Node}
+	p.used = true
+	p.dead = false
+	p.partner = d.Node
+	e.net.InitLedger(&p.ledger)
 	if !e.net.Online(d.Node) {
 		p.ledger.Send(a.id, d.Node, sim.MsgProbe, 0) // records the failed attempt
 		// Departed contact: drop it so the view heals (§3.4.2).
 		p.dead = true
-		return p
+		return
 	}
 	b := e.nodes[d.Node]
-	brng := b.rng.Split(planLabel(seq, purposeViewReply, a.id))
-	p.bufA = a.view.SendBuffer(a.descriptor(), rng)
-	p.bufB = b.view.SendBuffer(b.descriptor(), brng)
+	p.rngB = b.rng.Derive(planLabel(seq, purposeViewReply, a.id))
+	p.bufA = a.view.SendBufferInto(a.descriptor(), rng, p.bufA, &p.smpA)
+	p.bufB = b.view.SendBufferInto(b.descriptor(), &p.rngB, p.bufB, &p.smpB)
 	p.ledger.Send(a.id, d.Node, sim.MsgRandomView, descriptorsWireSize(p.bufA))
 	p.ledger.Send(d.Node, a.id, sim.MsgRandomView, descriptorsWireSize(p.bufB))
-	p.rngA, p.rngB = rng, brng
-	return p
 }
 
 // commitViewShard applies the shard-owned effects of one planned
@@ -117,11 +125,11 @@ func (e *Engine) planView(a *Node, seq uint64) *viewPlan {
 //
 //p3q:phase commit
 func (e *Engine) commitViewShard(a *Node, p *viewPlan, sh *commitShard) {
-	if p == nil {
+	if !p.used {
 		return
 	}
 	if sh.owns(a.id) {
-		sh.ledger.Merge(p.ledger)
+		sh.ledger.Merge(&p.ledger)
 	}
 	if p.dead {
 		if sh.owns(a.id) {
@@ -130,10 +138,10 @@ func (e *Engine) commitViewShard(a *Node, p *viewPlan, sh *commitShard) {
 		return
 	}
 	if sh.owns(a.id) {
-		a.view.Merge(p.bufB, p.rngA)
+		a.view.Merge(p.bufB, &p.rngA)
 	}
 	if sh.owns(p.partner) {
-		e.nodes[p.partner].view.Merge(p.bufA, p.rngB)
+		e.nodes[p.partner].view.Merge(p.bufA, &p.rngB)
 	}
 }
 
@@ -142,7 +150,7 @@ const requestBytes = 8
 
 // sortEntriesByAge stable-sorts entries by decreasing gossip age,
 // preserving the incoming order among ties.
-func sortEntriesByAge(entries []*Entry) {
+func sortEntriesByAge(entries []Entry) {
 	sort.SliceStable(entries, func(i, j int) bool {
 		return entries[i].Age() > entries[j].Age()
 	})
@@ -160,39 +168,70 @@ func descriptorsWireSize(ds []gossip.Descriptor) int {
 
 // rvContact is one planned random-view evaluation: either a pure
 // evaluated-cache update (digest shares no item) or a direct contact with
-// the planned integration of the owner's fresh offer.
+// the planned integration of the owner's fresh offer. Contacts live in the
+// owning topPlan's pooled rv slice, so the embedded integration's buffers
+// survive from cycle to cycle (see topPlan.nextRV).
 type rvContact struct {
 	owner    tagging.UserID
 	evalOnly bool
 	version  int
-	intent   *integration
+	intent   integration
 }
 
 // topPlan is one node's planned top-layer gossip plus random-view
 // evaluation: the probes spent finding an online partner, the symmetric
 // 3-step exchange planned for both sides, and the random-view contacts.
+// Like viewPlan, topPlans are pooled engine slots: every sub-plan is
+// embedded by value and every buffer — including the rv slots' integration
+// buffers and the seen overlay map — is reused across cycles.
 type topPlan struct {
-	ledger *sim.Ledger
+	used   bool // false: slot idle this cycle (offline node)
+	ledger sim.Ledger
 	resets []tagging.UserID // departed partners probed: reset their timestamps
 
 	partner tagging.UserID
 	ok      bool
-	exch    *exchangePlan // the symmetric 3-step exchange with the partner
+	exch    exchangePlan // the symmetric 3-step exchange with the partner
 
 	rv []rvContact
+
+	// Plan-phase scratch.
+	partners []Entry                // PartnersByAge buffer
+	seen     map[tagging.UserID]int // evaluated-cache overlay, cleared per cycle
+	oneOffer [1]offer               // backing array for single-offer integrations
 }
 
-// planTop plans one top-layer gossip for node a — select the personal
-// network neighbour with the oldest timestamp (retrying past departed ones
-// up to MaxProbes) and the symmetric 3-step profile exchange with her — and
-// the scoring of a's random-view candidates (§2.2.1).
+// nextRV appends one rv slot and returns it, re-exposing a previous cycle's
+// slot (with its integration buffers intact) when capacity allows. The
+// caller must set every field it relies on: the slot's content is stale.
+//
+//p3q:hotpath
+func (p *topPlan) nextRV() *rvContact {
+	if len(p.rv) < cap(p.rv) {
+		p.rv = p.rv[:len(p.rv)+1]
+	} else {
+		p.rv = append(p.rv, rvContact{})
+	}
+	return &p.rv[len(p.rv)-1]
+}
+
+// planTopInto plans one top-layer gossip for node a into the pooled plan
+// slot p — select the personal network neighbour with the oldest timestamp
+// (retrying past departed ones up to MaxProbes) and the symmetric 3-step
+// profile exchange with her — and the scoring of a's random-view candidates
+// (§2.2.1).
 //
 //p3q:phase plan
-func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
-	p := &topPlan{ledger: e.net.NewLedger()}
-	rng := a.rng.Split(planLabel(seq, purposeTop, 0))
+func (e *Engine) planTopInto(a *Node, seq uint64, p *topPlan) {
+	p.used = true
+	p.ok = false
+	p.resets = p.resets[:0]
+	p.rv = p.rv[:0]
+	e.net.InitLedger(&p.ledger)
+	rng := a.rng.Derive(planLabel(seq, purposeTop, 0))
 
-	partners := a.pnet.PartnersByAge()
+	p.partners = a.pnet.AppendPartnersByAge(p.partners)
+	partners := p.partners
 	// Equal timestamps (common right after bootstrap) are tried in random
 	// order so the first cycles do not all hit the lowest IDs.
 	rng.Shuffle(len(partners), func(i, j int) { partners[i], partners[j] = partners[j], partners[i] })
@@ -219,10 +258,16 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 	// seen overlays the evaluated cache with the versions this plan already
 	// scored, so the random-view pass below does not re-contact an owner
 	// the top exchange just integrated.
-	seen := make(map[tagging.UserID]int)
+	if p.seen == nil {
+		p.seen = make(map[tagging.UserID]int)
+	} else {
+		clear(p.seen)
+	}
+	seen := p.seen
 	if b != nil {
 		p.partner, p.ok = b.id, true
-		p.exch = e.planTopExchange(a, b, rng, b.rng.Split(planLabel(seq, purposeTopReply, a.id)), seen)
+		brng := b.rng.Derive(planLabel(seq, purposeTopReply, a.id))
+		e.planTopExchangeInto(&p.exch, a, b, &rng, &brng, seen)
 	}
 
 	// Random-view evaluation: score the members whose digests indicate at
@@ -249,7 +294,8 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 		}
 		if !d.Digest.SharesItemWith(a.profile) {
 			seen[d.Node] = d.Digest.Version
-			p.rv = append(p.rv, rvContact{owner: d.Node, evalOnly: true, version: d.Digest.Version})
+			c := p.nextRV()
+			c.owner, c.evalOnly, c.version = d.Node, true, d.Digest.Version
 			continue
 		}
 		if !e.net.Online(d.Node) {
@@ -260,12 +306,13 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 		// profile. The initiating request is charged symmetrically to
 		// fetchFromOwner; the response carries the fresh digest (§3.3).
 		owner := e.nodes[d.Node]
-		fresh := offer{digest: owner.digest(), snap: owner.profile.Snapshot()}
+		p.oneOffer[0] = offer{digest: owner.digest(), snap: owner.profile.Snapshot()}
 		p.ledger.Send(a.id, d.Node, sim.MsgTopDigest, requestBytes)
-		p.ledger.Send(d.Node, a.id, sim.MsgTopDigest, fresh.digest.SizeBytes())
-		p.rv = append(p.rv, rvContact{owner: d.Node, intent: planIntegrate(a, []offer{fresh}, d.Node, seen)})
+		p.ledger.Send(d.Node, a.id, sim.MsgTopDigest, p.oneOffer[0].digest.SizeBytes())
+		c := p.nextRV()
+		c.owner, c.evalOnly, c.version = d.Node, false, 0
+		planIntegrateInto(&c.intent, a, p.oneOffer[:], d.Node, seen)
 	}
-	return p
 }
 
 // commitTopShard applies the shard-owned effects of one planned top-layer
@@ -275,19 +322,19 @@ func (e *Engine) planTop(a *Node, seq uint64) *topPlan {
 //
 //p3q:phase commit
 func (e *Engine) commitTopShard(a *Node, p *topPlan, sh *commitShard) {
-	if p == nil {
+	if !p.used {
 		return
 	}
 	ownA := sh.owns(a.id)
 	if ownA {
-		sh.ledger.Merge(p.ledger)
+		sh.ledger.Merge(&p.ledger)
 		for _, id := range p.resets {
 			a.pnet.ResetTimestamp(id)
 		}
 	}
 	if p.ok {
 		b := e.nodes[p.partner]
-		e.commitTopExchangeShard(a, b, p.exch, sh)
+		e.commitTopExchangeShard(a, b, &p.exch, sh)
 		if ownA {
 			a.pnet.Touch(p.partner)
 		}
@@ -296,13 +343,14 @@ func (e *Engine) commitTopShard(a *Node, p *topPlan, sh *commitShard) {
 		}
 	}
 	if ownA {
-		for _, c := range p.rv {
+		for i := range p.rv {
+			c := &p.rv[i]
 			if c.evalOnly {
 				a.checkEvalCache()
 				a.evaluated[c.owner] = c.version
 				continue
 			}
-			a.commitIntegration(c.intent, sh.ledger)
+			a.commitIntegration(&c.intent, &sh.ledger)
 		}
 	}
 }
@@ -313,31 +361,40 @@ func (e *Engine) commitTopShard(a *Node, p *topPlan, sh *commitShard) {
 // the ablation side ledger, and the planned integrations of what each side
 // received. Steps 2-3 resolve at commit time through commitIntegration.
 type exchangePlan struct {
-	ledger  *sim.Ledger
-	naive   uint64       // 3-step ablation ledger contribution
-	intPeer *integration // b's integration of a's offers
-	intSelf *integration // a's integration of b's offers
+	ledger  sim.Ledger
+	naive   uint64      // 3-step ablation ledger contribution
+	intPeer integration // b's integration of a's offers
+	intSelf integration // a's integration of b's offers
+
+	// Plan-phase scratch: the advertised offer batches (their content is
+	// consumed by the sends, the ablation ledger and the integrations above,
+	// which copy what they keep), plus the stored-entry collection buffer
+	// and sampling scratch shared by both advertise calls (they run
+	// sequentially within this plan).
+	offersA, offersB []offer
+	storedBuf        []*Entry
+	smp              randx.Sampler
 }
 
-// planTopExchange plans the symmetric top-layer exchange between two online
-// nodes: both sides advertise digests (step 1) and the received batches are
-// scored against cycle-start state. The advertising randomness is passed in
-// explicitly so both the lazy and the eager planners can derive per-cycle
-// split streams; seen optionally overlays versions the caller's plan has
-// already scored on a's side (the lazy planner shares it with its
-// random-view pass).
+// planTopExchangeInto plans the symmetric top-layer exchange between two
+// online nodes into the pooled plan p: both sides advertise digests (step 1)
+// and the received batches are scored against cycle-start state. The
+// advertising randomness is passed in explicitly so both the lazy and the
+// eager planners can derive per-cycle split streams; seen optionally
+// overlays versions the caller's plan has already scored on a's side (the
+// lazy planner shares it with its random-view pass).
 //
 //p3q:phase plan
-func (e *Engine) planTopExchange(a, b *Node, rngA, rngB *randx.Source, seen map[tagging.UserID]int) *exchangePlan {
-	p := &exchangePlan{ledger: e.net.NewLedger()}
-	offersA := a.advertise(rngA)
-	offersB := b.advertise(rngB)
-	p.ledger.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(offersA))
-	p.ledger.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(offersB))
-	p.naive = naiveOffersBytes(offersA) + naiveOffersBytes(offersB)
-	p.intPeer = planIntegrate(b, offersA, a.id, nil)
-	p.intSelf = planIntegrate(a, offersB, b.id, seen)
-	return p
+//p3q:hotpath
+func (e *Engine) planTopExchangeInto(p *exchangePlan, a, b *Node, rngA, rngB *randx.Source, seen map[tagging.UserID]int) {
+	e.net.InitLedger(&p.ledger)
+	p.offersA, p.storedBuf = a.advertiseInto(rngA, p.offersA, p.storedBuf, &p.smp)
+	p.offersB, p.storedBuf = b.advertiseInto(rngB, p.offersB, p.storedBuf, &p.smp)
+	p.ledger.Send(a.id, b.id, sim.MsgTopDigest, offersWireSize(p.offersA))
+	p.ledger.Send(b.id, a.id, sim.MsgTopDigest, offersWireSize(p.offersB))
+	p.naive = naiveOffersBytes(p.offersA) + naiveOffersBytes(p.offersB)
+	planIntegrateInto(&p.intPeer, b, p.offersA, a.id, nil)
+	planIntegrateInto(&p.intSelf, a, p.offersB, b.id, seen)
 }
 
 // commitTopExchangeShard applies the shard-owned effects of a planned
@@ -351,17 +408,17 @@ func (e *Engine) planTopExchange(a, b *Node, rngA, rngB *randx.Source, seen map[
 //p3q:phase commit
 func (e *Engine) commitTopExchangeShard(a, b *Node, p *exchangePlan, sh *commitShard) (peerBytes, selfBytes uint64) {
 	if sh.owns(a.id) {
-		sh.ledger.Merge(p.ledger)
+		sh.ledger.Merge(&p.ledger)
 		sh.naive += p.naive
 	}
 	if sh.owns(b.id) {
 		mark := sh.ledger.Len()
-		b.commitIntegration(p.intPeer, sh.ledger)
+		b.commitIntegration(&p.intPeer, &sh.ledger)
 		peerBytes = sh.ledger.BytesSince(mark)
 	}
 	if sh.owns(a.id) {
 		mark := sh.ledger.Len()
-		a.commitIntegration(p.intSelf, sh.ledger)
+		a.commitIntegration(&p.intSelf, &sh.ledger)
 		selfBytes = sh.ledger.BytesSince(mark)
 	}
 	return peerBytes, selfBytes
@@ -382,23 +439,36 @@ func naiveOffersBytes(offers []offer) uint64 {
 // received profile advertisements: the exact similarity scores and message
 // sizes of steps 1-2 of Algorithm 1. Step 3 (profile storage) depends on
 // the personal network as committed, so it is resolved at commit time.
+// Integrations are embedded by value in their owning plan slots and
+// re-initialized in place by planIntegrateInto; the common/actions scratch
+// buffers persist across cycles.
 type integration struct {
+	ok        bool // false: every offer was filtered out, nothing to commit
 	provider  tagging.UserID
 	results   []intResult
 	reqBytes  int
 	respBytes int
+
+	// Step-2 scratch, reused per offer.
+	common  []tagging.ItemID
+	actions []tagging.Action
 }
 
-// intResult is one scored offer inside an integration.
+// intResult is one scored offer inside an integration. applied is written
+// at commit time (like eagerPlan.branchEmptied): it marks the results whose
+// upsert landed, replacing the per-commit membership map the step-3 loop
+// used to allocate.
 type intResult struct {
 	o        offer
 	score    int
-	received int // actions transferred in step 2 (for the step-3 discount)
-	version  int // evaluated-cache update for the offer's owner
+	received int  // actions transferred in step 2 (for the step-3 discount)
+	version  int  // evaluated-cache update for the offer's owner
+	applied  bool // commit-time: upsert landed, offer's snapshot is storable
 }
 
-// planIntegrate computes the read-only part of Algorithm 1 for a batch of
-// offers received by n from provider:
+// planIntegrateInto computes the read-only part of Algorithm 1 for a batch
+// of offers received by n from provider, into the caller's pooled
+// integration slot:
 //
 //	step 1 (lines 1-15):  filter digests — drop unchanged/known versions and
 //	                      owners sharing no item with the own profile;
@@ -406,16 +476,17 @@ type intResult struct {
 //	                      compute exact similarity scores.
 //
 // It reads only n's cycle-start state (plus the optional seen overlay of
-// versions already scored by the same plan) and mutates nothing, so any
-// number of planners may run it concurrently — including two planners
-// integrating into the same n. It returns nil when every offer is filtered
-// out (no step-2 messages are exchanged then).
+// versions already scored by the same plan) and mutates nothing but the
+// slot, so any number of planners may run it concurrently — including two
+// planners integrating into the same n. The slot's ok flag is false when
+// every offer is filtered out (no step-2 messages are exchanged then).
 //
 //p3q:phase plan
 //p3q:hotpath
-func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[tagging.UserID]int) *integration {
-	var results []intResult
-	reqBytes, respBytes := 0, 0
+func planIntegrateInto(it *integration, n *Node, offers []offer, provider tagging.UserID, seen map[tagging.UserID]int) {
+	it.provider = provider
+	it.results = it.results[:0]
+	it.reqBytes, it.respBytes = 0, 0
 	for _, o := range offers {
 		owner := o.digest.Owner
 		if owner == n.id {
@@ -439,12 +510,12 @@ func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[ta
 		}
 		// Step 2: request the actions on common items and compute the
 		// exact score.
-		common := commonItems(n.profile, o.digest)
-		reqBytes += tagging.ItemsWireSize(len(common))
-		actions := o.snap.ActionsOnItems(common)
-		respBytes += tagging.ActionsWireSize(len(actions))
+		it.common = appendCommonItems(it.common, n.profile, o.digest)
+		it.reqBytes += tagging.ItemsWireSize(len(it.common))
+		it.actions = o.snap.AppendActionsOnItems(it.actions, it.common)
+		it.respBytes += tagging.ActionsWireSize(len(it.actions))
 		score := 0
-		for _, a := range actions {
+		for _, a := range it.actions {
 			if n.profile.Has(a.Item, a.Tag) {
 				score++
 			}
@@ -452,12 +523,9 @@ func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[ta
 		if seen != nil {
 			seen[owner] = o.digest.Version
 		}
-		results = append(results, intResult{o: o, score: score, received: len(actions), version: o.digest.Version})
+		it.results = append(it.results, intResult{o: o, score: score, received: len(it.actions), version: o.digest.Version})
 	}
-	if len(results) == 0 {
-		return nil
-	}
-	return &integration{provider: provider, results: results, reqBytes: reqBytes, respBytes: respBytes} //p3q:alloc one intent per gossip, escapes to the commit phase
+	it.ok = len(it.results) > 0
 }
 
 // commitIntegration applies a planned integration: the evaluated-cache
@@ -472,7 +540,7 @@ func planIntegrate(n *Node, offers []offer, provider tagging.UserID, seen map[ta
 //p3q:phase commit
 //p3q:hotpath
 func (n *Node) commitIntegration(it *integration, l *sim.Ledger) {
-	if it == nil {
+	if !it.ok {
 		return
 	}
 	n.checkEvalCache()
@@ -489,9 +557,13 @@ func (n *Node) commitIntegration(it *integration, l *sim.Ledger) {
 	l.Send(n.id, it.provider, sim.MsgCommonItems, it.reqBytes)
 	l.Send(it.provider, n.id, sim.MsgCommonItems, it.respBytes)
 
-	// Update the personal network: keep the s highest positive scores.
-	inBatch := make(map[tagging.UserID]intResult, len(it.results)) //p3q:alloc keyed by the batch being committed; a reusable scratch map would outlive the shard
-	for _, r := range it.results {
+	// Update the personal network: keep the s highest positive scores. The
+	// applied flags mark which results landed, so the step-3 loop below can
+	// match rebalanced entries to their batch offers with a linear scan over
+	// the (small) result set instead of a per-commit map.
+	for i := range it.results {
+		r := &it.results[i]
+		r.applied = false
 		if r.score <= 0 {
 			continue
 		}
@@ -499,14 +571,21 @@ func (n *Node) commitIntegration(it *integration, l *sim.Ledger) {
 			continue // a fresher same-cycle commit already landed
 		}
 		n.pnet.Upsert(r.o.digest.Owner, r.score, r.o.digest)
-		inBatch[r.o.digest.Owner] = r
+		r.applied = true
 	}
 
 	// Step 3: store the profiles of neighbours entering the top-c.
 	profBytes := 0
 	var directFetch []*Entry
 	for _, entry := range n.pnet.Rebalance() {
-		if r, ok := inBatch[entry.ID]; ok {
+		var r *intResult
+		for i := range it.results {
+			if it.results[i].applied && it.results[i].o.digest.Owner == entry.ID {
+				r = &it.results[i]
+				break
+			}
+		}
+		if r != nil {
 			entry.Stored = r.o.snap
 			rest := r.o.snap.Len() - r.received
 			if rest < 0 {
@@ -548,17 +627,18 @@ func (n *Node) fetchFromOwner(entry *Entry, l *sim.Ledger) {
 	entry.Digest = owner.digest()
 }
 
-// commonItems returns the items of p that the digest may contain — the
-// common-item estimate of Algorithm 1 (false positives possible at the
-// Bloom filter's rate, false negatives never).
+// appendCommonItems appends the items of p that the digest may contain —
+// the common-item estimate of Algorithm 1 (false positives possible at the
+// Bloom filter's rate, false negatives never) — into dst (reusing its
+// capacity) and returns it.
 //
 //p3q:hotpath
-func commonItems(p *tagging.Profile, d *tagging.Digest) []tagging.ItemID {
-	var out []tagging.ItemID
+func appendCommonItems(dst []tagging.ItemID, p *tagging.Profile, d *tagging.Digest) []tagging.ItemID {
+	dst = dst[:0]
 	for _, it := range p.Items() {
 		if d.MightContainItem(it) {
-			out = append(out, it)
+			dst = append(dst, it)
 		}
 	}
-	return out
+	return dst
 }

@@ -31,8 +31,21 @@ type Node struct {
 	evaluated   map[tagging.UserID]int
 	evalVersion int
 
-	// branches holds this node's remaining list per active query.
+	// branches holds this node's remaining list per active query. The map
+	// is lazily allocated by setBranch: at any moment only the nodes along
+	// active query paths hold branches, so most of a large population never
+	// pays for the map.
 	branches map[uint64][]tagging.UserID
+}
+
+// setBranch stores a branch list, allocating the branches map on first use.
+// Reads, deletes and len on a nil map are legal, so only the write path
+// needs the helper.
+func (n *Node) setBranch(qid uint64, members []tagging.UserID) {
+	if n.branches == nil {
+		n.branches = make(map[uint64][]tagging.UserID)
+	}
+	n.branches[qid] = members
 }
 
 // ID returns the node's user ID.
@@ -100,24 +113,36 @@ type offer struct {
 // lazy and the eager planners derive per-cycle split streams (planLabel /
 // eagerStream) so that concurrent planners never contend on a shared
 // source.
+func (n *Node) advertise(rng *randx.Source) []offer {
+	var smp randx.Sampler
+	out, _ := n.advertiseInto(rng, nil, nil, &smp)
+	return out
+}
+
+// advertiseInto is advertise appending into caller-owned buffers: dst
+// receives the offers, stored is the neighbour-collection scratch (both
+// reuse their capacity; the grown stored buffer is returned for the caller
+// to keep), and smp owns the sampling scratch. The buffers are plan-owned,
+// never node-owned: a node can be the partner of several concurrently
+// planning initiators, each of which calls advertise on it.
 //
 //p3q:hotpath
-func (n *Node) advertise(rng *randx.Source) []offer {
-	stored := n.pnet.StoredEntries()
+func (n *Node) advertiseInto(rng *randx.Source, dst []offer, stored []*Entry, smp *randx.Sampler) (offers []offer, storedOut []*Entry) {
+	stored = n.pnet.AppendStored(stored)
 	max := n.e.cfg.MaxDigestsPerGossip
-	out := make([]offer, 0, 1+min(len(stored), max)) //p3q:alloc gossip payload, escapes into the exchanged plan
-	out = append(out, offer{digest: n.digest(), snap: n.profile.Snapshot()})
+	dst = dst[:0]
+	dst = append(dst, offer{digest: n.digest(), snap: n.profile.Snapshot()})
 	if len(stored) <= max {
 		for _, e := range stored {
-			out = append(out, offer{digest: e.Digest, snap: e.Stored})
+			dst = append(dst, offer{digest: e.Digest, snap: e.Stored})
 		}
-		return out
+		return dst, stored
 	}
-	for _, i := range rng.Sample(len(stored), max) {
+	for _, i := range smp.Sample(rng, len(stored), max) {
 		e := stored[i]
-		out = append(out, offer{digest: e.Digest, snap: e.Stored})
+		dst = append(dst, offer{digest: e.Digest, snap: e.Stored})
 	}
-	return out
+	return dst, stored
 }
 
 // offersWireSize is the step-1 cost of a digest batch.

@@ -10,6 +10,11 @@ import (
 // similarity score, the latest known digest of her profile, a gossip-age
 // timestamp, and — for the c most similar neighbours — a stored snapshot of
 // her profile.
+//
+// Entries live by value inside the network's flat ranking slice. Pointers
+// obtained from Entry, Rebalance or StoredEntries point into that slice and
+// stay valid only until the next mutation of the network (Upsert, Rebalance,
+// Touch, ResetTimestamp); re-fetch after mutating.
 type Entry struct {
 	ID    tagging.UserID
 	Score int
@@ -50,31 +55,48 @@ func rankBefore(aScore int, aID tagging.UserID, bScore int, bID tagging.UserID) 
 	return aID < bID
 }
 
+// rankSlot is one slot of the open-addressed by-owner index: the neighbour
+// ID biased by one (0 marks an empty slot) and a copy of its current score,
+// which is exactly the key needed to locate the entry in the sorted ranking
+// by binary search.
+type rankSlot struct {
+	key   uint32 // neighbour ID + 1; 0 = empty
+	score int32
+}
+
 // PersonalNetwork is the top-layer state of one node: up to s scored
 // neighbours ranked by similarity, with snapshots stored for the top c.
 //
-// The ranking is maintained incrementally: it is kept sorted at all times
-// (rank-ordered insertion, O(log s) search plus a small pointer move per
-// Upsert), so the read paths (Ranking, Members, Unstored, StoredEntries)
-// and Rebalance never re-sort. Gossip ages run off a per-network logical
-// clock (clock advances once per Touch; an entry's age is clock - last), so
-// Touch is O(1) instead of an increment-every-neighbour walk, and the
-// age ordering consumed by PartnersByAge is memoized until a touch or a
-// membership change invalidates it.
+// The hot state is dense: the ranking is a flat []Entry kept sorted at all
+// times (descending score, ascending ID), and the by-owner lookup is a small
+// open-addressed index mapping neighbour ID to its current score — membership
+// is one probe sequence, and an entry's position falls out of a binary search
+// on (score, ID). Because the index stores no positions, the shifts that keep
+// the ranking sorted never touch it; only a score change updates one slot.
+//
+// Gossip ages run off a per-network logical clock (clock advances once per
+// Touch; an entry's age is clock - last), so Touch is O(1) instead of an
+// increment-every-neighbour walk, and the age ordering consumed by
+// PartnersByAge is memoized (as positions into the ranking) until a touch or
+// a ranking mutation invalidates it.
 type PersonalNetwork struct {
 	self tagging.UserID //p3q:transient implicit: the owning node's id, re-derived by the restoring node
 	s, c int
-	//p3q:transient mirror: by-owner index of the entries serialized via ranking, rebuilt on restore
-	entries map[tagging.UserID]*Entry
-	ranking []*Entry // always sorted: descending score, ascending ID
+	// ranking always sorted: descending score, ascending ID.
+	ranking []Entry
+	//p3q:transient mirror: open-addressed by-owner index over ranking, rebuilt on restore and growth
+	idx []rankSlot
+	//p3q:transient mirror: len(idx)-1, kept alongside idx
+	idxMask int
 	// clock counts Touch calls; entries age implicitly as it advances.
 	clock uint64
 	// byAge memoizes the PartnersByAge ordering (ascending last, ascending
-	// ID); nil when stale. Pure aging (clock advancing) preserves the
-	// ordering, so only touches and membership changes invalidate it.
+	// ID) as positions into ranking; nil when stale. Pure aging (clock
+	// advancing) preserves the ordering, so only touches and ranking
+	// mutations invalidate it.
 	//
 	//p3q:transient memo, rebuilt lazily (or by Prepare) from ranking and last
-	byAge []*Entry
+	byAge []uint32
 }
 
 // NewPersonalNetwork returns an empty personal network with the given
@@ -83,16 +105,11 @@ func NewPersonalNetwork(self tagging.UserID, s, c int) *PersonalNetwork {
 	if c > s {
 		c = s
 	}
-	return &PersonalNetwork{
-		self:    self,
-		s:       s,
-		c:       c,
-		entries: make(map[tagging.UserID]*Entry),
-	}
+	return &PersonalNetwork{self: self, s: s, c: c}
 }
 
 // Len returns the number of neighbours.
-func (pn *PersonalNetwork) Len() int { return len(pn.entries) }
+func (pn *PersonalNetwork) Len() int { return len(pn.ranking) }
 
 // S returns the personal network capacity.
 func (pn *PersonalNetwork) S() int { return pn.s }
@@ -100,94 +117,234 @@ func (pn *PersonalNetwork) S() int { return pn.s }
 // C returns the profile storage capacity.
 func (pn *PersonalNetwork) C() int { return pn.c }
 
-// Entry returns the neighbour entry for id, or nil.
-func (pn *PersonalNetwork) Entry(id tagging.UserID) *Entry { return pn.entries[id] }
+// idKey biases a neighbour ID into the index key space (0 is reserved for
+// empty slots).
+func idKey(id tagging.UserID) uint32 { return uint32(id) + 1 }
 
-// Contains reports whether id is a neighbour.
-func (pn *PersonalNetwork) Contains(id tagging.UserID) bool {
-	_, ok := pn.entries[id]
-	return ok
+// idxHome returns the preferred slot of a key: Fibonacci hashing on the
+// high product bits, masked to the table size.
+func (pn *PersonalNetwork) idxHome(key uint32) int {
+	return int(uint64(key)*0x9e3779b97f4a7c15>>33) & pn.idxMask
 }
 
-// insert places e at its rank position. The ranking must not contain e.
-func (pn *PersonalNetwork) insert(e *Entry) {
-	i := sort.Search(len(pn.ranking), func(i int) bool {
-		o := pn.ranking[i]
-		return !rankBefore(o.Score, o.ID, e.Score, e.ID)
+// idxFind returns the slot index holding key, or -1. Linear probing; the
+// table keeps its load factor at or below 3/4.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) idxFind(key uint32) int {
+	if len(pn.idx) == 0 {
+		return -1
+	}
+	i := pn.idxHome(key)
+	for {
+		s := &pn.idx[i]
+		if s.key == key {
+			return i
+		}
+		if s.key == 0 {
+			return -1
+		}
+		i = (i + 1) & pn.idxMask
+	}
+}
+
+// idxPlace probes to the first empty slot and writes. The caller guarantees
+// the key is absent and the table has room.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) idxPlace(key uint32, score int32) {
+	i := pn.idxHome(key)
+	for pn.idx[i].key != 0 {
+		i = (i + 1) & pn.idxMask
+	}
+	pn.idx[i] = rankSlot{key: key, score: score}
+}
+
+// idxAdd indexes a key that was just appended to the ranking, growing the
+// table first when the insert would push the load factor past 3/4. Growth
+// re-places every ranking entry (the new one included), so after a grow
+// there is nothing left to place.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) idxAdd(key uint32, score int32) {
+	if len(pn.ranking)*4 > len(pn.idx)*3 {
+		pn.growIdx()
+		return
+	}
+	pn.idxPlace(key, score)
+}
+
+// growIdx rebuilds the index at the next power-of-two size that keeps the
+// current ranking at or below half load. Deliberately not a hot path: the
+// table grows O(log s) times over a network's lifetime.
+func (pn *PersonalNetwork) growIdx() {
+	n := len(pn.idx) * 2
+	if n < 8 {
+		n = 8
+	}
+	for n < len(pn.ranking)*2 {
+		n *= 2
+	}
+	pn.idx = make([]rankSlot, n)
+	pn.idxMask = n - 1
+	for i := range pn.ranking {
+		e := &pn.ranking[i]
+		pn.idxPlace(idKey(e.ID), int32(e.Score))
+	}
+}
+
+// idxDelete removes key from the table with backward-shift deletion, which
+// keeps probe sequences unbroken without tombstones.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) idxDelete(key uint32) {
+	i := pn.idxFind(key)
+	if i < 0 {
+		return
+	}
+	j := i
+	for {
+		j = (j + 1) & pn.idxMask
+		s := pn.idx[j]
+		if s.key == 0 {
+			break
+		}
+		// s may move into the hole at i iff that does not move it before
+		// its home slot (cyclic distance check).
+		if (j-pn.idxHome(s.key))&pn.idxMask >= (j-i)&pn.idxMask {
+			pn.idx[i] = s
+			i = j
+		}
+	}
+	pn.idx[i] = rankSlot{}
+}
+
+// panicUpsert keeps the panic's interface boxing out of the hot Upsert
+// body; it fires only on caller bugs.
+func panicUpsert(msg string) { panic(msg) }
+
+// rankPos returns the ranking position of the (score, id) key: the entry's
+// exact position when present ((score, ID) keys are unique), the insertion
+// point otherwise.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) rankPos(score int, id tagging.UserID) int {
+	return sort.Search(len(pn.ranking), func(i int) bool {
+		e := &pn.ranking[i]
+		return !rankBefore(e.Score, e.ID, score, id)
 	})
-	pn.ranking = append(pn.ranking, nil)
+}
+
+// Entry returns the neighbour entry for id, or nil. The pointer aliases the
+// ranking slice and stays valid only until the next mutation of the network.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) Entry(id tagging.UserID) *Entry {
+	si := pn.idxFind(idKey(id))
+	if si < 0 {
+		return nil
+	}
+	return &pn.ranking[pn.rankPos(int(pn.idx[si].score), id)]
+}
+
+// Contains reports whether id is a neighbour.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) Contains(id tagging.UserID) bool {
+	return pn.idxFind(idKey(id)) >= 0
+}
+
+// insertAt drops e into the ranking at position i, shifting the tail up.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) insertAt(i int, e Entry) {
+	pn.ranking = append(pn.ranking, Entry{})
 	copy(pn.ranking[i+1:], pn.ranking[i:])
 	pn.ranking[i] = e
 }
 
-// remove drops e from the ranking, locating it by binary search on its
-// current (score, ID) key.
-func (pn *PersonalNetwork) remove(e *Entry) {
-	i := sort.Search(len(pn.ranking), func(i int) bool {
-		o := pn.ranking[i]
-		return !rankBefore(o.Score, o.ID, e.Score, e.ID)
-	})
-	// (score, ID) keys are unique, so i is exactly e's position.
-	copy(pn.ranking[i:], pn.ranking[i+1:])
-	pn.ranking[len(pn.ranking)-1] = nil
-	pn.ranking = pn.ranking[:len(pn.ranking)-1]
-}
-
 // Upsert adds the neighbour or updates its score and digest, and returns
-// the entry. New entries start with timestamp 0, per §2.2.1. Scores must be
-// positive; Upsert panics otherwise (callers filter).
+// the entry (a pointer into the ranking, valid until the next mutation).
+// New entries start with timestamp 0, per §2.2.1. Scores must be positive;
+// Upsert panics otherwise (callers filter).
+//
+//p3q:hotpath
 func (pn *PersonalNetwork) Upsert(id tagging.UserID, score int, digest *tagging.Digest) *Entry {
 	if score <= 0 {
-		panic("core: Upsert with non-positive score")
+		panicUpsert("core: Upsert with non-positive score")
 	}
 	if id == pn.self {
-		panic("core: Upsert of self")
+		panicUpsert("core: Upsert of self")
 	}
-	if e := pn.entries[id]; e != nil {
-		if e.Score != score {
-			// Reposition: remove under the old key, reinsert under the new.
-			// The age ordering is untouched — scores do not enter it.
-			pn.remove(e)
-			e.Score = score
-			pn.insert(e)
-		}
+	if si := pn.idxFind(idKey(id)); si >= 0 {
+		i := pn.rankPos(int(pn.idx[si].score), id)
+		e := &pn.ranking[i]
 		e.Digest = digest
-		return e
+		if e.Score == score {
+			return e
+		}
+		// Reposition: lift the entry out, shift the gap closed, re-insert
+		// under the new key. The index needs only its score copy refreshed —
+		// it stores no positions — and the age memo is rebuilt on demand
+		// (its (last, ID) ordering is untouched, only the positions moved).
+		ev := *e
+		ev.Score = score
+		copy(pn.ranking[i:], pn.ranking[i+1:])
+		pn.ranking = pn.ranking[:len(pn.ranking)-1]
+		j := pn.rankPos(score, id)
+		pn.insertAt(j, ev)
+		pn.idx[si].score = int32(score)
+		pn.byAge = nil
+		return &pn.ranking[j]
 	}
-	e := &Entry{ID: id, Score: score, Digest: digest, pn: pn, last: pn.clock}
-	pn.entries[id] = e
-	pn.insert(e)
+	j := pn.rankPos(score, id)
+	pn.insertAt(j, Entry{ID: id, Score: score, Digest: digest, pn: pn, last: pn.clock})
+	pn.idxAdd(idKey(id), int32(score))
 	pn.byAge = nil
-	return e
+	return &pn.ranking[j]
+}
+
+// appendEntry appends a restored entry at the tail of the ranking and
+// indexes it. The checkpoint reader calls it with entries already validated
+// to arrive in rank order; it must not be used elsewhere.
+func (pn *PersonalNetwork) appendEntry(e Entry) {
+	e.pn = pn
+	pn.ranking = append(pn.ranking, e)
+	pn.idxAdd(idKey(e.ID), int32(e.Score))
 }
 
 // Prepare pre-builds the memoized age ordering if it is stale. The engine
-// calls it for every node before a lazy planning phase so that PartnersByAge
-// is free of lazy rebuilds and therefore safe to call from concurrent
-// planners. The ranking itself needs no preparation: it is maintained
-// sorted on every Upsert.
+// calls it for every node before a lazy planning phase so that
+// AppendPartnersByAge is free of lazy rebuilds and therefore safe to call
+// from concurrent planners. The ranking itself needs no preparation: it is
+// maintained sorted on every Upsert.
 //
 //p3q:phase plan
 func (pn *PersonalNetwork) Prepare() { pn.orderedByAge() }
 
 // Ranking returns the neighbours ordered by descending score (ties:
 // ascending ID). The slice aliases internal state; do not modify.
-func (pn *PersonalNetwork) Ranking() []*Entry { return pn.ranking }
+func (pn *PersonalNetwork) Ranking() []Entry { return pn.ranking }
 
 // Rebalance enforces the capacity rules after a batch of Upserts: only the
 // s best neighbours are kept, and only the c best keep stored profiles. It
 // returns the entries now inside the top-c whose stored snapshot is missing
 // or stale — the caller must fetch those (step 3 of Algorithm 1). The
-// ranking is already sorted, so eviction is a truncation of the tail.
+// returned pointers alias the ranking and stay valid until the next
+// mutation of the network; callers write Stored through them immediately.
+// The ranking is already sorted, so eviction is a truncation of the tail.
+//
+//p3q:hotpath
 func (pn *PersonalNetwork) Rebalance() (needStore []*Entry) {
 	for len(pn.ranking) > pn.s {
-		last := pn.ranking[len(pn.ranking)-1]
-		delete(pn.entries, last.ID)
-		pn.ranking[len(pn.ranking)-1] = nil
+		last := &pn.ranking[len(pn.ranking)-1]
+		pn.idxDelete(idKey(last.ID))
+		*last = Entry{}
 		pn.ranking = pn.ranking[:len(pn.ranking)-1]
 		pn.byAge = nil
 	}
-	for i, e := range pn.ranking {
+	for i := range pn.ranking {
+		e := &pn.ranking[i]
 		if i < pn.c {
 			if !e.StoredFresh() {
 				needStore = append(needStore, e)
@@ -204,43 +361,56 @@ func (pn *PersonalNetwork) Rebalance() (needStore []*Entry) {
 // Members returns the neighbour IDs in rank order.
 func (pn *PersonalNetwork) Members() []tagging.UserID {
 	out := make([]tagging.UserID, len(pn.ranking))
-	for i, e := range pn.ranking {
-		out[i] = e.ID
+	for i := range pn.ranking {
+		out[i] = pn.ranking[i].ID
 	}
 	return out
 }
 
 // StoredEntries returns the entries currently holding a profile snapshot,
-// in rank order.
+// in rank order. The pointers alias the ranking; valid until the next
+// mutation of the network.
 func (pn *PersonalNetwork) StoredEntries() []*Entry {
-	var out []*Entry
-	for _, e := range pn.ranking {
-		if e.Stored.Valid() {
-			out = append(out, e)
+	return pn.AppendStored(nil)
+}
+
+// AppendStored is StoredEntries appending into a caller-owned buffer
+// (reusing its capacity) and returning it. Same aliasing rule: the pointers
+// point into the ranking and are valid until the next mutation.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) AppendStored(dst []*Entry) []*Entry {
+	dst = dst[:0]
+	for i := range pn.ranking {
+		if pn.ranking[i].Stored.Valid() {
+			dst = append(dst, &pn.ranking[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // Unstored returns the neighbour IDs whose profiles are not locally stored,
 // in rank order. This is the initial remaining list of a query (§2.2.2).
 func (pn *PersonalNetwork) Unstored() []tagging.UserID {
 	var out []tagging.UserID
-	for _, e := range pn.ranking {
-		if !e.Stored.Valid() {
-			out = append(out, e.ID)
+	for i := range pn.ranking {
+		if !pn.ranking[i].Stored.Valid() {
+			out = append(out, pn.ranking[i].ID)
 		}
 	}
 	return out
 }
 
-// orderedByAge returns the memoized age ordering, rebuilding it if stale.
-func (pn *PersonalNetwork) orderedByAge() []*Entry {
+// orderedByAge returns the memoized age ordering (positions into ranking),
+// rebuilding it if stale.
+func (pn *PersonalNetwork) orderedByAge() []uint32 {
 	if pn.byAge == nil {
-		pn.byAge = make([]*Entry, len(pn.ranking))
-		copy(pn.byAge, pn.ranking)
+		pn.byAge = make([]uint32, len(pn.ranking))
+		for i := range pn.byAge {
+			pn.byAge[i] = uint32(i)
+		}
 		sort.Slice(pn.byAge, func(i, j int) bool {
-			a, b := pn.byAge[i], pn.byAge[j]
+			a, b := &pn.ranking[pn.byAge[i]], &pn.ranking[pn.byAge[j]]
 			if a.last != b.last {
 				return a.last < b.last
 			}
@@ -252,22 +422,34 @@ func (pn *PersonalNetwork) orderedByAge() []*Entry {
 
 // PartnersByAge returns the neighbours ordered by decreasing age (oldest
 // gossip first; ties: ascending ID) — the lazy-mode partner preference of
-// §2.2.1. The ordering is memoized between touches and membership changes;
-// the returned slice is a fresh copy the caller may reorder freely.
-func (pn *PersonalNetwork) PartnersByAge() []*Entry {
-	ordered := pn.orderedByAge()
-	out := make([]*Entry, len(ordered))
-	copy(out, ordered)
-	return out
+// §2.2.1. The returned slice is a fresh copy the caller may reorder freely.
+func (pn *PersonalNetwork) PartnersByAge() []Entry {
+	return pn.AppendPartnersByAge(nil)
+}
+
+// AppendPartnersByAge is PartnersByAge appending entry copies into a
+// caller-owned buffer (reusing its capacity) and returning it. The planners
+// call it with plan-slot buffers; Prepare has pre-built the age memo, so
+// concurrent planners only read.
+//
+//p3q:hotpath
+func (pn *PersonalNetwork) AppendPartnersByAge(dst []Entry) []Entry {
+	dst = dst[:0]
+	for _, i := range pn.orderedByAge() {
+		dst = append(dst, pn.ranking[i])
+	}
+	return dst
 }
 
 // Touch records a gossip with the given partner: its age resets to 0 and
 // every other neighbour ages by 1 (§2.2.1). The aging is implicit — the
 // logical clock advances and ages are derived as clock - last — so Touch is
 // O(1) instead of walking every neighbour.
+//
+//p3q:hotpath
 func (pn *PersonalNetwork) Touch(partner tagging.UserID) {
 	pn.clock++
-	if e := pn.entries[partner]; e != nil {
+	if e := pn.Entry(partner); e != nil {
 		e.last = pn.clock
 		pn.byAge = nil
 	}
@@ -275,8 +457,10 @@ func (pn *PersonalNetwork) Touch(partner tagging.UserID) {
 
 // ResetTimestamp zeroes the partner's age without aging the others; used on
 // the receiving side of a gossip.
+//
+//p3q:hotpath
 func (pn *PersonalNetwork) ResetTimestamp(partner tagging.UserID) {
-	if e := pn.entries[partner]; e != nil && e.last != pn.clock {
+	if e := pn.Entry(partner); e != nil && e.last != pn.clock {
 		e.last = pn.clock
 		pn.byAge = nil
 	}

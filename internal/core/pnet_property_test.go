@@ -134,7 +134,7 @@ func comparePnets(t *testing.T, step int, pn *PersonalNetwork, ref *refPnet) {
 	for i, re := range refAge {
 		if gotAge[i].ID != re.id {
 			t.Fatalf("step %d: byAge[%d] = %d, ref %d (got %v)",
-				step, i, gotAge[i].ID, re.id, memberIDs(gotAge))
+				step, i, gotAge[i].ID, re.id, entryIDs(gotAge))
 		}
 	}
 }
@@ -143,6 +143,14 @@ func memberIDs(entries []*Entry) []tagging.UserID {
 	out := make([]tagging.UserID, len(entries))
 	for i, e := range entries {
 		out[i] = e.ID
+	}
+	return out
+}
+
+func entryIDs(entries []Entry) []tagging.UserID {
+	out := make([]tagging.UserID, len(entries))
+	for i := range entries {
+		out[i] = entries[i].ID
 	}
 	return out
 }

@@ -120,9 +120,11 @@ func TestPnetStoredFreshDetectsStale(t *testing.T) {
 	if !e.StoredFresh() {
 		t.Fatal("fresh snapshot reported stale")
 	}
-	// A newer digest arrives: the stored version falls behind.
+	// A newer digest arrives: the stored version falls behind. Re-fetch
+	// the entry — Upsert may reorder the flat ranking array, so pointers
+	// into it are only valid until the next mutation.
 	pn.Upsert(1, 6, mkDigest(1, 3))
-	if e.StoredFresh() {
+	if e = pn.Entry(1); e.StoredFresh() {
 		t.Fatal("stale snapshot reported fresh")
 	}
 	need := pn.Rebalance()

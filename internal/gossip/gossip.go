@@ -26,11 +26,20 @@ type Descriptor struct {
 }
 
 // View is a node's random view: up to capacity descriptors of peers sampled
-// approximately uniformly from the network.
+// approximately uniformly from the network. Descriptors live in a flat
+// slice — the view's hot state is two words plus one dense array.
 type View struct {
 	self     tagging.UserID
 	capacity int
 	entries  []Descriptor
+
+	// scratch and smp are Merge's dedupe buffer and sampling scratch,
+	// reused across cycles; their content is meaningless between calls
+	// (the checkpoint codec rightly ignores them). Merge runs at commit
+	// time under the owning shard (one committer per node), so view-owned
+	// scratch is safe.
+	scratch []Descriptor
+	smp     randx.Sampler
 }
 
 // NewView returns an empty view for the given node.
@@ -86,55 +95,76 @@ func (v *View) SelectPartner(rng *randx.Source) (Descriptor, bool) {
 // the paper's "contact information of the corresponding users is also
 // exchanged".
 func (v *View) SendBuffer(self Descriptor, rng *randx.Source) []Descriptor {
-	out := make([]Descriptor, 0, v.capacity)
-	out = append(out, self)
+	var smp randx.Sampler
+	return v.SendBufferInto(self, rng, nil, &smp)
+}
+
+// SendBufferInto is SendBuffer appending into a caller-owned buffer with
+// caller-owned sampling scratch. The planners call it with plan-slot
+// buffers: SendBuffer runs in the parallel plan phase, where two planners
+// may read the same view concurrently, so the scratch must be plan-owned,
+// not view-owned. The draw sequence and result are identical to SendBuffer.
+//
+//p3q:hotpath
+func (v *View) SendBufferInto(self Descriptor, rng *randx.Source, dst []Descriptor, smp *randx.Sampler) []Descriptor {
+	dst = dst[:0]
+	dst = append(dst, self)
 	if len(v.entries) > 0 {
-		for _, i := range rng.Sample(len(v.entries), v.capacity-1) {
-			out = append(out, v.entries[i])
+		for _, i := range smp.Sample(rng, len(v.entries), v.capacity-1) {
+			dst = append(dst, v.entries[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // Merge combines the received descriptors with the current view and keeps a
 // uniform random sample of capacity entries, per the paper's "r digests
 // among the 2r digests are randomly selected". Duplicates keep the freshest
 // digest (highest version); the node's own descriptor is dropped.
+//
+// The dedupe runs over a view-owned flat scratch with a linear membership
+// scan — at most 2r+1 candidates — replacing the map-and-order-slice pair
+// this method used to allocate per call. Order and draw sequence are
+// unchanged: candidates keep first-occurrence order, and the down-sample
+// draws exactly when the candidate count exceeds capacity.
+//
+//p3q:hotpath
 func (v *View) Merge(received []Descriptor, rng *randx.Source) {
-	byNode := make(map[tagging.UserID]Descriptor, len(v.entries)+len(received))
-	order := make([]tagging.UserID, 0, len(v.entries)+len(received))
-	add := func(d Descriptor) {
-		if d.Node == v.self || d.Digest == nil {
-			return
+	sc := v.scratch[:0]
+	for pass := 0; pass < 2; pass++ {
+		src := v.entries
+		if pass == 1 {
+			src = received
 		}
-		if prev, ok := byNode[d.Node]; ok {
-			if d.Digest.Version > prev.Digest.Version {
-				byNode[d.Node] = d
+		for _, d := range src {
+			if d.Node == v.self || d.Digest == nil {
+				continue
 			}
-			return
+			dup := false
+			for i := range sc {
+				if sc[i].Node == d.Node {
+					if d.Digest.Version > sc[i].Digest.Version {
+						sc[i] = d
+					}
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				sc = append(sc, d)
+			}
 		}
-		byNode[d.Node] = d
-		order = append(order, d.Node)
-	}
-	for _, d := range v.entries {
-		add(d)
-	}
-	for _, d := range received {
-		add(d)
 	}
 	// Uniform random subset of size capacity, in deterministic order.
-	if len(order) > v.capacity {
-		picked := rng.Sample(len(order), v.capacity)
-		kept := make([]tagging.UserID, 0, v.capacity)
-		for _, i := range picked {
-			kept = append(kept, order[i])
-		}
-		order = kept
-	}
 	v.entries = v.entries[:0]
-	for _, id := range order {
-		v.entries = append(v.entries, byNode[id])
+	if len(sc) > v.capacity {
+		for _, i := range v.smp.Sample(rng, len(sc), v.capacity) {
+			v.entries = append(v.entries, sc[i])
+		}
+	} else {
+		v.entries = append(v.entries, sc...)
 	}
+	v.scratch = sc[:0]
 }
 
 // Remove drops the descriptor of a node (e.g. one detected as departed).

@@ -43,8 +43,8 @@ var verbScopes = map[string][]string{
 	orderInvariantVerb: nil,
 	phaseVerb:          DeterministicScopes,
 	transientVerb:      SnapshotScopes,
-	hotpathVerb:        DeterministicScopes,
-	allocVerb:          DeterministicScopes,
+	hotpathVerb:        HotpathScopes,
+	allocVerb:          HotpathScopes,
 }
 
 // knownVerbs returns the recognized verbs sorted, for diagnostics.

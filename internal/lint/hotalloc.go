@@ -28,7 +28,7 @@ var HotAlloc = &analysis.Analyzer{
 }
 
 func runHotAlloc(pass *analysis.Pass) error {
-	if !inScope(pass.Pkg.Path(), DeterministicScopes) {
+	if !inScope(pass.Pkg.Path(), HotpathScopes) {
 		return nil
 	}
 	for _, f := range pass.Files {

@@ -60,10 +60,21 @@ func Restore(state uint64) *Source { return &Source{state: state} }
 // statistically independent; splitting does not advance the parent, so the
 // set of children is a pure function of (parent state, label).
 func (s *Source) Split(label uint64) *Source {
+	c := s.Derive(label)
+	return &c
+}
+
+// Derive is Split returning the child by value: the same state derivation,
+// but the caller decides where the child lives. The engine's planners derive
+// per-plan streams into pooled plan slots, so a cycle's thousands of splits
+// stop being thousands of heap allocations.
+//
+//p3q:hotpath
+func (s *Source) Derive(label uint64) Source {
 	z := s.state ^ (label * 0xd6e8feb86659fd93)
 	z = (z ^ (z >> 32)) * 0xd6e8feb86659fd93
 	z = (z ^ (z >> 32)) * 0xd6e8feb86659fd93
-	return &Source{state: z ^ (z >> 32)}
+	return Source{state: z ^ (z >> 32)}
 }
 
 // Rand wraps the source in a math/rand.Rand for use with the standard
@@ -98,37 +109,91 @@ func (s *Source) Shuffle(n int, swap func(i, j int)) {
 
 // Perm returns a random permutation of [0, n).
 func (s *Source) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
+	return s.PermInto(nil, n)
+}
+
+// PermInto writes a random permutation of [0, n) into dst (reusing its
+// capacity) and returns it. The draw sequence and result are identical to
+// Perm, so pooled callers stay byte-for-byte compatible with allocating
+// ones.
+//
+//p3q:hotpath
+func (s *Source) PermInto(dst []int, n int) []int {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, i)
 	}
-	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
+	s.Shuffle(n, func(i, j int) { dst[i], dst[j] = dst[j], dst[i] })
+	return dst
 }
 
 // Sample returns k distinct values drawn uniformly from [0, n) in random
 // order. If k >= n it returns a permutation of all n values.
 func (s *Source) Sample(n, k int) []int {
+	var sp Sampler
+	return sp.Sample(s, n, k)
+}
+
+// Sampler owns the scratch buffers of Sample so hot callers can draw
+// distinct-index samples every cycle without allocating. The zero value is
+// ready to use; buffers grow to the largest (n, k) seen and are reused.
+// A Sampler is not safe for concurrent use — embed one per planner-owned
+// plan slot.
+type Sampler struct {
+	chosen []int
+	// remapK/remapV record the displaced positions of the partial
+	// Fisher-Yates (the role the old implementation gave a per-call map):
+	// remapV[i] is the value currently living at virtual position
+	// remapK[i]. k is small everywhere Sample is used (view capacities,
+	// digest batches, split sizes), so a linear scan beats a map — and
+	// allocates nothing once warm.
+	remapK, remapV []int
+}
+
+// lookup returns the value at virtual position j.
+func (sp *Sampler) lookup(j int) int {
+	for i, k := range sp.remapK {
+		if k == j {
+			return sp.remapV[i]
+		}
+	}
+	return j
+}
+
+// set records that virtual position j now holds v.
+func (sp *Sampler) set(j, v int) {
+	for i, k := range sp.remapK {
+		if k == j {
+			sp.remapV[i] = v
+			return
+		}
+	}
+	sp.remapK = append(sp.remapK, j)
+	sp.remapV = append(sp.remapV, v)
+}
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order, drawing from src. The draw sequence and results are identical to
+// Source.Sample; the returned slice aliases the sampler's scratch and is
+// valid until the next call. If k >= n it returns a permutation of all n
+// values.
+//
+//p3q:hotpath
+func (sp *Sampler) Sample(src *Source, n, k int) []int {
 	if k >= n {
-		return s.Perm(n)
+		sp.chosen = src.PermInto(sp.chosen, n)
+		return sp.chosen
 	}
-	// Partial Fisher-Yates over an index map: O(k) space.
-	chosen := make([]int, 0, k)
-	remap := make(map[int]int, k)
+	// Partial Fisher-Yates over the displaced-position records: O(k) space.
+	sp.chosen = sp.chosen[:0]
+	sp.remapK = sp.remapK[:0]
+	sp.remapV = sp.remapV[:0]
 	for i := 0; i < k; i++ {
-		j := i + s.Intn(n-i)
-		vj, ok := remap[j]
-		if !ok {
-			vj = j
-		}
-		vi, ok := remap[i]
-		if !ok {
-			vi = i
-		}
-		remap[j] = vi
-		chosen = append(chosen, vj)
+		j := i + src.Intn(n-i)
+		sp.chosen = append(sp.chosen, sp.lookup(j))
+		sp.set(j, sp.lookup(i))
 	}
-	return chosen
+	return sp.chosen
 }
 
 // NormFloat64 returns a standard normal variate (Box-Muller).

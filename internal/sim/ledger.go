@@ -42,6 +42,18 @@ type Record struct {
 // time (the cycle being planned or committed).
 func (nw *Network) NewLedger() *Ledger { return &Ledger{nw: nw, at: nw.now} }
 
+// InitLedger (re)initializes a caller-owned ledger value in place: same
+// semantics as NewLedger, but the record buffer is reused. The engine's
+// pooled plan slots embed their ledgers and re-init them each cycle instead
+// of allocating fresh ones.
+//
+//p3q:hotpath
+func (nw *Network) InitLedger(l *Ledger) {
+	l.nw = nw
+	l.at = nw.now
+	l.records = l.records[:0]
+}
+
 // Send records a message with the same semantics as Network.Send: it
 // returns true if the destination is online (the message is recorded under
 // its kind) and false otherwise (a probe-sized failed attempt is recorded

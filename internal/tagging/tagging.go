@@ -53,6 +53,12 @@ type Profile struct {
 	log   []Action       // append-only action log
 	index map[uint64]int // action key -> position in log
 	items map[ItemID]int // item -> number of actions on it (distinct tags)
+
+	// itemsSorted mirrors the keys of items in ascending order, maintained
+	// incrementally by Add. It makes Items a zero-allocation accessor, which
+	// matters because the engine's integration planner walks the item list
+	// once per offer.
+	itemsSorted []ItemID
 }
 
 // NewProfile returns an empty profile owned by the given user.
@@ -90,6 +96,12 @@ func (p *Profile) Add(item ItemID, tag TagID) bool {
 	}
 	p.index[k] = len(p.log)
 	p.log = append(p.log, a)
+	if p.items[item] == 0 {
+		i := sort.Search(len(p.itemsSorted), func(i int) bool { return p.itemsSorted[i] >= item })
+		p.itemsSorted = append(p.itemsSorted, 0)
+		copy(p.itemsSorted[i+1:], p.itemsSorted[i:])
+		p.itemsSorted[i] = item
+	}
 	p.items[item]++
 	return true
 }
@@ -122,15 +134,12 @@ func (p *Profile) HasItem(item ItemID) bool {
 // it aliases the profile's internal storage.
 func (p *Profile) Actions() []Action { return p.log }
 
-// Items returns the distinct items in the profile, in ascending order.
-func (p *Profile) Items() []ItemID {
-	out := make([]ItemID, 0, len(p.items))
-	for it := range p.items {
-		out = append(out, it)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// Items returns the distinct items in the profile, in ascending order. The
+// returned slice aliases the profile's internal storage and must not be
+// modified.
+//
+//p3q:hotpath
+func (p *Profile) Items() []ItemID { return p.itemsSorted }
 
 // TagsFor returns the tags the owner used on the item, in log order.
 func (p *Profile) TagsFor(item ItemID) []TagID {
@@ -191,12 +200,11 @@ func (p *Profile) CommonScore(other Snapshot) int {
 // snapshot, in ascending order.
 func (p *Profile) CommonItems(other Snapshot) []ItemID {
 	var out []ItemID
-	for it := range p.items {
+	for _, it := range p.itemsSorted {
 		if other.HasItem(it) {
 			out = append(out, it)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -279,15 +287,25 @@ func (s Snapshot) Items() []ItemID {
 // items. This is the payload of the second step of the 3-step profile
 // exchange ("require her tagging actions for the common items").
 func (s Snapshot) ActionsOnItems(items []ItemID) []Action {
-	want := make(map[ItemID]struct{}, len(items))
-	for _, it := range items {
-		want[it] = struct{}{}
-	}
-	var out []Action
+	return s.AppendActionsOnItems(nil, items)
+}
+
+// AppendActionsOnItems is ActionsOnItems appending into a caller-owned
+// buffer (reusing its capacity) and returning it. Membership is a linear
+// scan over items — the common-item lists this is called with are short, so
+// the scan beats building a per-call set and allocates nothing once the
+// buffer is warm.
+//
+//p3q:hotpath
+func (s Snapshot) AppendActionsOnItems(dst []Action, items []ItemID) []Action {
+	dst = dst[:0]
 	for _, a := range s.p.log[:s.n] {
-		if _, ok := want[a.Item]; ok {
-			out = append(out, a)
+		for _, it := range items {
+			if a.Item == it {
+				dst = append(dst, a)
+				break
+			}
 		}
 	}
-	return out
+	return dst
 }

@@ -1,0 +1,28 @@
+package tagging
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestInternedIDWidths pins the in-memory width of the interned ID types.
+// The million-node engine's dense hot-state layouts (personal-network
+// entries, view descriptors, pooled plan slots) are sized around 4-byte
+// IDs; widening any of them to 64 bits would silently double the hot
+// arrays' footprint and desynchronize UserIDBytes-based bandwidth
+// accounting from what the structs actually hold.
+func TestInternedIDWidths(t *testing.T) {
+	if got := unsafe.Sizeof(UserID(0)); got != 4 {
+		t.Errorf("UserID is %d bytes, want 4", got)
+	}
+	if got := unsafe.Sizeof(ItemID(0)); got != 4 {
+		t.Errorf("ItemID is %d bytes, want 4", got)
+	}
+	if got := unsafe.Sizeof(TagID(0)); got != 4 {
+		t.Errorf("TagID is %d bytes, want 4", got)
+	}
+	if UserIDBytes != int(unsafe.Sizeof(UserID(0))) {
+		t.Errorf("UserIDBytes = %d desynchronized from the UserID width %d",
+			UserIDBytes, unsafe.Sizeof(UserID(0)))
+	}
+}
