@@ -2,7 +2,7 @@
 # wrapper over the go tool; CI runs the same commands (see
 # .github/workflows/ci.yml).
 
-.PHONY: lint test build bench
+.PHONY: lint test build bench e2e
 
 # lint runs the determinism-linter suite through both of its entry
 # points: the standalone multichecker and the cmd/go unitchecker
@@ -17,6 +17,13 @@ build:
 
 test:
 	go test ./...
+
+# e2e runs the process tier: real p3qd daemons on loopback TCP ports,
+# driven through p3qctl. Gated behind the e2e build tag so the plain
+# test target stays hermetic and fast (the in-process smoke and
+# cross-check tiers already run there).
+e2e:
+	go test -tags e2e -run TestProcess -count 1 -v ./internal/e2e
 
 bench:
 	go test . -run='^$$' -bench='BenchmarkLazyConvergence5k|BenchmarkEagerBurst5k' -benchmem

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"p3q/internal/gossip"
+	"p3q/internal/sim"
+	"p3q/internal/tagging"
+	"p3q/internal/topk"
+	"p3q/internal/trace"
+)
+
+// This file is the core-reuse seam between the deterministic engine and
+// the peer daemon (internal/peer, cmd/p3qd). A daemon hosts a contiguous
+// node range but steps a full engine replica — the simulator is the
+// executable spec, and every daemon runs it — and the captured cycle
+// description tells the daemon exactly which protocol exchanges the cycle
+// performed, with whom, carrying what. The daemon then speaks those
+// exchanges over the wire (internal/wire) between the daemons hosting
+// each side, and verifies every peer response against its own replica's
+// computation: the simulator-as-oracle contract, enforced per message.
+//
+// Captures are pure observations. A captured cycle draws the same random
+// streams, sends the same messages and commits the same state as an
+// uncaptured one — capture_test.go pins byte-for-byte equality — so
+// stepping replicas with capture on N daemons is indistinguishable from
+// running the reference engine.
+
+// DigestRef identifies a profile digest on the wire without shipping its
+// bits: the owner and the profile version it was built from. Profiles are
+// append-only (tagging.Profile), so (owner, version) reconstructs the
+// digest bit-exactly on any daemon holding the dataset — the same
+// collapse internal/checkpoint uses for stored snapshots. Bytes carries
+// the §3.3 wire cost of the digest, which is what the traffic accounting
+// charges.
+type DigestRef struct {
+	Owner   tagging.UserID
+	Version int
+	Bytes   int
+}
+
+// ViewExchangeCap is one bottom-layer peer-sampling exchange of a lazy
+// cycle: the initiator's buffer travels to the partner and the partner's
+// buffer comes back (§2.2.1).
+type ViewExchangeCap struct {
+	Initiator tagging.UserID
+	Partner   tagging.UserID
+	BufA      []DigestRef // initiator -> partner
+	BufB      []DigestRef // partner -> initiator
+}
+
+// DirectFetchCap is one random-view direct contact (§2.2.1): the
+// initiator requests the owner's fresh profile offer.
+type DirectFetchCap struct {
+	Owner tagging.UserID
+	Offer DigestRef
+}
+
+// TopExchangeCap is one initiator's top-layer round of a lazy cycle: the
+// symmetric 3-step exchange with the selected partner (step-1 digest
+// batches in both directions; steps 2-3 resolve against the receiver's
+// committed state) plus the initiator's random-view direct contacts.
+type TopExchangeCap struct {
+	Initiator  tagging.UserID
+	HasPartner bool
+	Partner    tagging.UserID
+	OffersA    []DigestRef // initiator -> partner (step 1)
+	OffersB    []DigestRef // partner -> initiator (step 1)
+	Fetches    []DirectFetchCap
+}
+
+// LazyCapture describes every exchange of one lazy cycle, in the cycle's
+// canonical permutation order — the order the commit phase applies them.
+type LazyCapture struct {
+	Seq   uint64
+	Views []ViewExchangeCap
+	Tops  []TopExchangeCap
+}
+
+// EagerPairCap is one (initiator, query) gossip of an eager cycle
+// (Algorithm 3): the forwarded branch, the destination's resolution into
+// a partial result, the α-split of the unresolved rest, and the
+// piggybacked maintenance exchange. Bytes is this pair's contribution to
+// the query's traffic, exactly as the engine's finalize pass attributes
+// it.
+type EagerPairCap struct {
+	Initiator tagging.UserID
+	Qid       uint64
+	Ok        bool // an online destination was found
+	Dest      tagging.UserID
+	Querier   tagging.UserID
+
+	Tags        []tagging.TagID
+	Branch      []tagging.UserID // forwarded remaining list (cycle-start)
+	FoundOwners []tagging.UserID // resolved against the destination's storage
+	Plist       []topk.Entry     // partial result over the resolved profiles
+	Delivered   bool             // the partial result reached the querier
+	Keep        []tagging.UserID // unresolved members the destination keeps
+	Returned    []tagging.UserID // unresolved members sent back
+
+	OffersA []DigestRef // piggybacked maintenance, initiator -> destination
+	OffersB []DigestRef // piggybacked maintenance, destination -> initiator
+
+	BranchEmptied bool // commit-resolved: the initiator's branch drained
+	Bytes         QueryBytes
+}
+
+// EagerCapture describes every gossip of one eager cycle, in the
+// canonical pair order.
+type EagerCapture struct {
+	Seq   uint64
+	Pairs []EagerPairCap
+}
+
+// IssueCapture describes the querier-local processing of IssueQuery
+// (Algorithm 2): the profiles answered from local storage, the initial
+// partial result, and the remaining list seeding the first branch.
+type IssueCapture struct {
+	Qid        uint64
+	Querier    tagging.UserID
+	Needed     int
+	UsedOwners []tagging.UserID // querier + stored neighbours, local-storage hits
+	Local      []topk.Entry     // partial result over the local profiles
+	Remaining  []tagging.UserID
+	Done       bool // answered entirely from local storage
+	Results    []topk.Entry
+}
+
+// LazyCycleCaptured runs one lazy cycle exactly like LazyCycle and
+// returns the capture describing its exchanges. It requires synchronous
+// delivery: the daemon's wire protocol is cycle-aligned.
+func (e *Engine) LazyCycleCaptured() *LazyCapture {
+	if e.cfg.Latency != nil {
+		panic("core: capture requires synchronous delivery (Config.Latency == nil)")
+	}
+	cp := &LazyCapture{}
+	e.lazyCycle(cp)
+	return cp
+}
+
+// EagerCycleCaptured runs one eager cycle exactly like EagerCycle and
+// returns the capture describing its gossips. It requires synchronous
+// delivery.
+func (e *Engine) EagerCycleCaptured() *EagerCapture {
+	if e.cfg.Latency != nil {
+		panic("core: capture requires synchronous delivery (Config.Latency == nil)")
+	}
+	cp := &EagerCapture{}
+	e.eagerCycle(cp)
+	return cp
+}
+
+// IssueQueryCaptured issues a query exactly like IssueQuery and returns
+// the capture of the querier-local processing alongside the run.
+func (e *Engine) IssueQueryCaptured(q trace.Query) (*QueryRun, *IssueCapture) {
+	cp := &IssueCapture{}
+	qr := e.issueQuery(q, cp)
+	if qr == nil {
+		return nil, nil
+	}
+	return qr, cp
+}
+
+// digestRefs converts an offer batch to its wire references.
+func digestRefs(offers []offer) []DigestRef {
+	if len(offers) == 0 {
+		return nil
+	}
+	out := make([]DigestRef, len(offers))
+	for i, o := range offers {
+		out[i] = DigestRef{Owner: o.digest.Owner, Version: o.digest.Version, Bytes: o.digest.SizeBytes()}
+	}
+	return out
+}
+
+// descriptorRefs converts a peer-sampling buffer to its wire references.
+func descriptorRefs(buf []gossip.Descriptor) []DigestRef {
+	if len(buf) == 0 {
+		return nil
+	}
+	out := make([]DigestRef, len(buf))
+	for i, d := range buf {
+		out[i] = DigestRef{Owner: d.Node, Version: d.Digest.Version, Bytes: d.Digest.SizeBytes()}
+	}
+	return out
+}
+
+// captureLazy fills cap from the cycle's committed plan slots, walking
+// the canonical permutation order.
+func (e *Engine) captureLazy(cp *LazyCapture, seq uint64, order []int) {
+	cp.Seq = seq
+	for _, i := range order {
+		p := &e.vplans[i]
+		if !p.used || p.dead {
+			continue
+		}
+		cp.Views = append(cp.Views, ViewExchangeCap{
+			Initiator: e.nodes[i].id,
+			Partner:   p.partner,
+			BufA:      descriptorRefs(p.bufA),
+			BufB:      descriptorRefs(p.bufB),
+		})
+	}
+	for _, i := range order {
+		p := &e.tplans[i]
+		if !p.used {
+			continue
+		}
+		tc := TopExchangeCap{Initiator: e.nodes[i].id, HasPartner: p.ok}
+		if p.ok {
+			tc.Partner = p.partner
+			tc.OffersA = digestRefs(p.exch.offersA)
+			tc.OffersB = digestRefs(p.exch.offersB)
+		}
+		for ri := range p.rv {
+			c := &p.rv[ri]
+			if c.evalOnly {
+				continue
+			}
+			d := e.nodes[c.owner].digest()
+			tc.Fetches = append(tc.Fetches, DirectFetchCap{
+				Owner: c.owner,
+				Offer: DigestRef{Owner: c.owner, Version: d.Version, Bytes: d.SizeBytes()},
+			})
+		}
+		if !tc.HasPartner && len(tc.Fetches) == 0 {
+			continue
+		}
+		cp.Tops = append(cp.Tops, tc)
+	}
+}
+
+// captureEagerContent fills cap with the plan-phase content of the
+// cycle's gossips, before commit mutates any branch. The hand-off slices
+// (foundOwners, plist, keep, returned) are freshly allocated per plan and
+// never mutated after the cycle, so the capture aliases them; the branch
+// aliases the initiator's live list, so it is copied.
+func (e *Engine) captureEagerContent(cp *EagerCapture, seq uint64, plans []eagerPlan) {
+	cp.Seq = seq
+	cp.Pairs = make([]EagerPairCap, len(plans))
+	for i := range plans {
+		p := &plans[i]
+		qr := e.queries[p.qid]
+		pc := &cp.Pairs[i]
+		pc.Initiator = p.u
+		pc.Qid = p.qid
+		pc.Ok = p.ok
+		pc.Querier = qr.Query.Querier
+		pc.Tags = qr.Query.Tags
+		if !p.ok {
+			continue
+		}
+		pc.Dest = p.dest
+		pc.Branch = append([]tagging.UserID(nil), p.branch...)
+		pc.FoundOwners = p.foundOwners
+		pc.Plist = p.plist
+		pc.Delivered = p.delivered
+		pc.Keep = p.keep
+		pc.Returned = p.returned
+		pc.OffersA = digestRefs(p.exch.offersA)
+		pc.OffersB = digestRefs(p.exch.offersB)
+	}
+}
+
+// captureEagerOutcome fills in the commit-resolved fields after the shard
+// committers and the finalize pass have run: the per-pair traffic
+// attribution (the same arithmetic finalizeEagerGossip applies to the
+// query totals) and the branch-drained flag.
+func (e *Engine) captureEagerOutcome(cp *EagerCapture, plans []eagerPlan) {
+	for i := range plans {
+		p := &plans[i]
+		pc := &cp.Pairs[i]
+		t := p.ledger.Total()
+		pc.Bytes.Forwarded = t.Bytes[sim.MsgQueryForward]
+		pc.Bytes.Returned = t.Bytes[sim.MsgQueryReturn]
+		pc.Bytes.PartialResults = t.Bytes[sim.MsgPartialResult]
+		if !p.ok {
+			continue
+		}
+		pc.BranchEmptied = p.branchEmptied
+		pc.Bytes.Maintenance = p.exch.ledger.Total().TotalBytes() + p.peerBytes + p.selfBytes
+	}
+}
+
+// captureIssue fills cap from the querier-local processing state.
+func captureIssue(cp *IssueCapture, qr *QueryRun, u *Node, local []topk.Entry, remaining []tagging.UserID) {
+	cp.Qid = qr.ID
+	cp.Querier = u.id
+	cp.Needed = qr.needed
+	cp.UsedOwners = append(cp.UsedOwners, u.id)
+	for _, entry := range u.pnet.StoredEntries() {
+		cp.UsedOwners = append(cp.UsedOwners, entry.ID)
+	}
+	cp.Local = local
+	cp.Remaining = remaining
+	cp.Done = qr.done
+	cp.Results = qr.results
+}

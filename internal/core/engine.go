@@ -243,7 +243,12 @@ func (e *Engine) Bootstrap() {
 // same number of shard committers apply the intents — each to its own
 // contiguous range of nodes, in the cycle's canonical permutation order.
 // The output is byte-for-byte identical for every worker count.
-func (e *Engine) LazyCycle() {
+func (e *Engine) LazyCycle() { e.lazyCycle(nil) }
+
+// lazyCycle is LazyCycle with an optional capture: when cp is non-nil the
+// cycle's exchanges are described into it (see capture.go) after the
+// commit phases, with no effect on the cycle itself.
+func (e *Engine) lazyCycle(cp *LazyCapture) {
 	e.net.SetNow(e.now)
 	if e.cfg.Latency != nil {
 		e.replayFrozen()
@@ -311,6 +316,9 @@ func (e *Engine) LazyCycle() {
 		}
 	})
 	e.commitDur += sw.Elapsed()
+	if cp != nil {
+		e.captureLazy(cp, seq, order)
+	}
 	// The lazy cycle occupies one LazyPeriod of virtual time; in-flight
 	// eager deliveries falling inside the window arrive during it.
 	t1 := e.now + e.cfg.LazyPeriod

@@ -1,0 +1,119 @@
+package e2e
+
+import (
+	"testing"
+
+	"p3q/internal/core"
+	"p3q/internal/trace"
+)
+
+// TestCrossCheckClusterMatchesEngine is the cross-check tier: the same
+// trace and the same cycle schedule run twice — once through the
+// deterministic in-process engine (the executable spec) and once through
+// a four-daemon cluster speaking the wire protocol — and every
+// observable must agree: query completion, recall, the exact result
+// lists, and the per-query byte tallies summed across the cluster.
+//
+// This is the test that makes the simulator the oracle for the daemon:
+// a protocol change that alters what goes over the wire, or a byte
+// accounting drift between the two implementations, fails here even if
+// both sides still "work".
+func TestCrossCheckClusterMatchesEngine(t *testing.T) {
+	const (
+		daemons = 4
+		users   = 80
+		seed    = 7
+		warmup  = 8
+		maxEag  = 80
+	)
+
+	// Reference run: the deterministic engine.
+	gen := trace.DefaultGenParams(users)
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	ds := trace.Generate(gen)
+	eng := core.New(ds, cfg)
+	eng.Bootstrap()
+	for i := 0; i < warmup; i++ {
+		eng.LazyCycle()
+	}
+	queries := trace.GenerateQueries(ds, 3)
+	if len(queries) < 2 {
+		t.Fatalf("dataset generated %d queries, want at least 2", len(queries))
+	}
+	queries = queries[:2]
+	var runs []*core.QueryRun
+	for _, q := range queries {
+		runs = append(runs, eng.IssueQuery(q))
+	}
+	engCycles := 0
+	for ; engCycles < maxEag && !eng.AllQueriesDone(); engCycles++ {
+		eng.EagerCycle()
+	}
+	if !eng.AllQueriesDone() {
+		t.Fatalf("engine reference run did not finish within %d eager cycles", maxEag)
+	}
+
+	// Cluster run: identical trace, identical schedule, over the wire.
+	c := StartCluster(t, daemons, users, seed)
+	if err := c.Lead().RunLazyCycles(warmup); err != nil {
+		t.Fatalf("cluster warmup: %v", err)
+	}
+	var qids []uint64
+	for i, q := range queries {
+		qid, err := c.Lead().SubmitQuery(q)
+		if err != nil {
+			t.Fatalf("submitting query %d: %v", i, err)
+		}
+		qids = append(qids, qid)
+	}
+	for i := 0; i < engCycles; i++ {
+		if err := c.Lead().RunEagerCycle(); err != nil {
+			t.Fatalf("cluster eager cycle %d: %v", i, err)
+		}
+	}
+	c.RequireNoDivergence(t)
+
+	cl := c.Client(t, 0)
+	for i, run := range runs {
+		if run.ID != qids[i] {
+			t.Errorf("query %d: engine qid %d, cluster qid %d", i, run.ID, qids[i])
+		}
+		st, err := cl.Status(qids[i])
+		if err != nil {
+			t.Fatalf("status for query %d: %v", i, err)
+		}
+		if !st.Known {
+			t.Fatalf("cluster does not know query %d", i)
+		}
+		if !st.Done {
+			t.Errorf("query %d: engine done, cluster not done", i)
+			continue
+		}
+		if got, want := int(st.Used), run.ProfilesUsed(); got != want {
+			t.Errorf("query %d: cluster used %d profiles, engine used %d", i, got, want)
+		}
+		if got, want := int(st.Needed), run.ProfilesNeeded(); got != want {
+			t.Errorf("query %d: cluster needed %d profiles, engine needed %d", i, got, want)
+		}
+
+		want := run.Results()
+		if len(st.Results) != len(want) {
+			t.Errorf("query %d: cluster returned %d results, engine %d", i, len(st.Results), len(want))
+			continue
+		}
+		for j := range want {
+			if st.Results[j] != want[j] {
+				t.Errorf("query %d result %d: cluster %+v, engine %+v", i, j, st.Results[j], want[j])
+			}
+		}
+
+		b := run.Bytes()
+		if st.Forwarded != b.Forwarded || st.Returned != b.Returned ||
+			st.PartialResults != b.PartialResults || st.Maintenance != b.Maintenance {
+			t.Errorf("query %d traffic: cluster {fwd %d ret %d partial %d maint %d}, engine {fwd %d ret %d partial %d maint %d}",
+				i, st.Forwarded, st.Returned, st.PartialResults, st.Maintenance,
+				b.Forwarded, b.Returned, b.PartialResults, b.Maintenance)
+		}
+	}
+}

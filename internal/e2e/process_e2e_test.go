@@ -1,0 +1,196 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"p3q/internal/tagging"
+	"p3q/internal/trace"
+)
+
+// TestProcessThreeDaemonCluster is the process tier: it builds the real
+// p3qd and p3qctl binaries, launches three daemons on loopback TCP
+// ports, submits a query through p3qctl against a member daemon, waits
+// for full recall, checks the stats endpoints, and shuts the cluster
+// down cleanly over the wire. Gated behind the e2e build tag — run it
+// with `make e2e`.
+func TestProcessThreeDaemonCluster(t *testing.T) {
+	const (
+		users = 60
+		seed  = 11
+	)
+	bin := t.TempDir()
+	p3qd := filepath.Join(bin, "p3qd")
+	p3qctl := filepath.Join(bin, "p3qctl")
+	gobuild(t, p3qd, "p3q/cmd/p3qd")
+	gobuild(t, p3qctl, "p3q/cmd/p3qctl")
+
+	addrs := []string{freeAddr(t), freeAddr(t), freeAddr(t)}
+	joined := strings.Join(addrs, ",")
+	var daemons []*exec.Cmd
+	for i := range addrs {
+		cmd := exec.Command(p3qd,
+			"-index", strconv.Itoa(i),
+			"-addrs", joined,
+			"-users", strconv.Itoa(users),
+			"-seed", strconv.Itoa(seed),
+			"-eager-every", "10ms",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting daemon %d: %v", i, err)
+		}
+		daemons = append(daemons, cmd)
+	}
+	t.Cleanup(func() {
+		for _, cmd := range daemons {
+			if cmd.ProcessState == nil {
+				_ = cmd.Process.Kill()
+				_ = cmd.Wait()
+			}
+		}
+	})
+
+	// The same deterministic universe the daemons regenerate.
+	ds := trace.Generate(trace.DefaultGenParams(users))
+	queries := trace.GenerateQueries(ds, 3)
+	if len(queries) == 0 {
+		t.Fatal("dataset generated no queries")
+	}
+	q := queries[0]
+
+	// Submit through daemon 1 (a member): exercises the gateway relay.
+	// Retries cover cluster start-up; the client dials fresh each time.
+	var qid string
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		out, err := ctl(p3qctl, addrs[1], "submit",
+			"-querier", fmt.Sprint(q.Querier),
+			"-tags", joinTags(q.Tags))
+		if err == nil {
+			qid = strings.TrimSpace(strings.TrimPrefix(out, "qid"))
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("submit never succeeded: %v\n%s", err, out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	out, err := ctl(p3qctl, addrs[1], "wait", "-qid", qid, "-timeout", "30s")
+	if err != nil {
+		t.Fatalf("wait: %v\n%s", err, out)
+	}
+	status := parseKV(out)
+	if status["done"] != "true" {
+		t.Fatalf("query not done:\n%s", out)
+	}
+	if status["used"] != status["needed"] {
+		t.Errorf("recall incomplete: used %s of %s profiles", status["used"], status["needed"])
+	}
+	if !strings.Contains(out, "result item") {
+		t.Errorf("done query returned no results:\n%s", out)
+	}
+
+	for i, addr := range addrs {
+		out, err := ctl(p3qctl, addr, "stats")
+		if err != nil {
+			t.Fatalf("stats from daemon %d: %v\n%s", i, err, out)
+		}
+		stats := parseKV(out)
+		if stats["divergence"] != "0" {
+			t.Errorf("daemon %d diverged from the cluster:\n%s", i, out)
+		}
+		if stats["wire_msgs"] == "0" || stats["wire_bytes"] == "0" {
+			t.Errorf("daemon %d reports no wire traffic:\n%s", i, out)
+		}
+	}
+
+	// Shut every daemon down over the wire and wait for clean exits.
+	for i, addr := range addrs {
+		if out, err := ctl(p3qctl, addr, "shutdown"); err != nil {
+			t.Errorf("shutdown daemon %d: %v\n%s", i, err, out)
+		}
+	}
+	for i, cmd := range daemons {
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("daemon %d exited uncleanly: %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Errorf("daemon %d did not exit after shutdown", i)
+			_ = cmd.Process.Kill()
+		}
+	}
+}
+
+func gobuild(t *testing.T, out, pkg string) {
+	t.Helper()
+	cmd := exec.Command("go", "build", "-o", out, pkg)
+	cmd.Dir = repoRoot(t)
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, b)
+	}
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	b, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	return filepath.Dir(strings.TrimSpace(string(b)))
+}
+
+// freeAddr reserves a loopback port by listening on it briefly. A daemon
+// re-binds it moments later; on loopback the window is not contested.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserving a port: %v", err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatalf("releasing the port: %v", err)
+	}
+	return addr
+}
+
+func ctl(bin, addr string, args ...string) (string, error) {
+	full := append([]string{"-addr", addr}, args...)
+	b, err := exec.Command(bin, full...).CombinedOutput()
+	return string(b), err
+}
+
+func joinTags(tags []tagging.TagID) string {
+	parts := make([]string, len(tags))
+	for i, tg := range tags {
+		parts[i] = fmt.Sprint(tg)
+	}
+	return strings.Join(parts, ",")
+}
+
+func parseKV(out string) map[string]string {
+	kv := make(map[string]string)
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 2 {
+			kv[f[0]] = f[1]
+		}
+	}
+	return kv
+}

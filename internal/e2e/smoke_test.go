@@ -1,0 +1,84 @@
+package e2e
+
+import (
+	"testing"
+	"time"
+
+	"p3q/internal/trace"
+)
+
+// TestSmokeThreeDaemonQuery is the always-on smoke tier: a three-daemon
+// cluster over the in-memory transport answers one query to full recall,
+// through the real wire protocol end to end — submit via a member daemon
+// (relayed to the lead), eager gossip conversations between daemons,
+// partial results to the querier's daemon, status via the gateway client.
+// The whole run must finish well inside five seconds of wall time.
+func TestSmokeThreeDaemonQuery(t *testing.T) {
+	start := time.Now()
+	c := StartCluster(t, 3, 60, 11)
+	if err := c.Lead().RunLazyCycles(8); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	ds := trace.Generate(c.Gen)
+	queries := trace.GenerateQueries(ds, 3)
+	if len(queries) == 0 {
+		t.Fatal("dataset generated no queries")
+	}
+	q := queries[0]
+
+	// Submit through a member, not the lead: exercises gateway relay.
+	cl := c.Client(t, 1)
+	qid, err := cl.Submit(q.Querier, q.Tags)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	done := false
+	for i := 0; i < 60 && !done; i++ {
+		if err := c.Lead().RunEagerCycle(); err != nil {
+			t.Fatalf("eager cycle %d: %v", i, err)
+		}
+		st, err := cl.Status(qid)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if !st.Known {
+			t.Fatal("cluster lost the query")
+		}
+		done = st.Done
+	}
+	if !done {
+		t.Fatal("query did not complete within 60 eager cycles")
+	}
+
+	st, err := cl.Status(qid)
+	if err != nil {
+		t.Fatalf("final status: %v", err)
+	}
+	if st.Used != st.Needed {
+		t.Errorf("recall incomplete: used %d of %d profiles", st.Used, st.Needed)
+	}
+	if len(st.Results) == 0 {
+		t.Error("done query returned no results")
+	}
+	if st.Forwarded == 0 && st.Returned == 0 && st.PartialResults == 0 {
+		t.Error("query finished with zero attributed traffic; the tallies are dead")
+	}
+	c.RequireNoDivergence(t)
+
+	for i, d := range c.Daemons {
+		stats, err := c.Client(t, i).Stats()
+		if err != nil {
+			t.Fatalf("stats from daemon %d: %v", i, err)
+		}
+		if stats.WireMsgs == 0 || stats.WireBytes == 0 {
+			t.Errorf("daemon %d reports no wire traffic; the cluster is not actually talking", i)
+		}
+		_ = d
+	}
+
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("smoke tier took %v, budget is 5s", elapsed)
+	}
+}

@@ -20,9 +20,9 @@
 //     and internal/randx split streams.
 //   - rngdiscipline: a randx.Source that crosses into a spawned goroutine
 //     must pass through .Split(label) first.
-//   - stickyerr: the codec packages (internal/checkpoint, internal/trace)
-//     discard no error results and perform raw stream I/O only inside
-//     sticky-error carrier methods.
+//   - stickyerr: the codec packages (internal/checkpoint, internal/trace,
+//     internal/wire) discard no error results and perform raw stream I/O
+//     only inside sticky-error carrier methods.
 //   - phasepurity: functions annotated `//p3q:phase plan` (run
 //     concurrently against cycle-start state) may not write through an
 //     Engine-typed value; `//p3q:phase commit` functions may not draw
@@ -79,6 +79,7 @@ var HotpathScopes = append([]string{
 var CodecScopes = []string{
 	"p3q/internal/checkpoint",
 	"p3q/internal/trace",
+	"p3q/internal/wire",
 }
 
 // SnapshotScopes lists the packages that define checkpointed state:

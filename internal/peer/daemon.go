@@ -1,0 +1,947 @@
+package peer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p3q/internal/core"
+	"p3q/internal/tagging"
+	"p3q/internal/topk"
+	"p3q/internal/trace"
+	"p3q/internal/wire"
+)
+
+// Config describes one daemon's place in a cluster. Every daemon of a
+// cluster must be constructed from the same Addrs, Gen and Engine values:
+// the replicas are only interchangeable when the whole deterministic
+// universe matches, and the Hello handshake rejects any peer whose sums
+// differ.
+type Config struct {
+	// Index is this daemon's position in Addrs; daemon 0 is the lead.
+	Index int
+	// Addrs lists every daemon's address, in daemon-index order.
+	Addrs []string
+	// Gen regenerates the shared dataset locally — daemons never ship
+	// profile bits, they agree on the generator.
+	Gen trace.GenParams
+	// Engine configures the replica. Latency must be nil: the wire
+	// protocol is cycle-aligned (synchronous delivery).
+	Engine core.Config
+	// ConnectTimeout bounds how long Connect waits for peers to come up.
+	// Zero means 10 seconds.
+	ConnectTimeout time.Duration
+}
+
+// hostedRange returns the contiguous node range daemon i hosts out of n.
+func hostedRange(users, n, i int) (lo, hi tagging.UserID) {
+	return tagging.UserID(i * users / n), tagging.UserID((i + 1) * users / n)
+}
+
+// queryState is the querier-side state machine a daemon runs for each
+// query whose querier it hosts: the incremental NRA fed by wire-received
+// partial result lists, and the used-profile / active-branch bookkeeping
+// that drives done-detection (a query is done exactly when no node holds
+// a non-empty branch). core's capture tests pin this replay equal to the
+// engine's own counters.
+type queryState struct {
+	qid     uint64
+	querier tagging.UserID
+	needed  int
+
+	used   map[tagging.UserID]struct{}
+	active map[tagging.UserID]struct{}
+	nra    *topk.NRA
+	batch  [][]topk.Entry // this cycle's partial lists, capture order
+
+	cycles  int
+	done    bool
+	results []topk.Entry
+}
+
+// pairKey identifies a lazy exchange by its two endpoints.
+type pairKey struct{ a, b tagging.UserID }
+
+// eagerKey identifies an eager gossip within a cycle.
+type eagerKey struct {
+	qid       uint64
+	initiator tagging.UserID
+}
+
+// partialKey identifies one partial-result delivery within a cycle.
+type partialKey = eagerKey
+
+// cycleState is everything a daemon knows about the cycle currently in
+// its exchange phase: the capture (immutable once built) and the
+// responder-side indexes into it. It is replaced wholesale at each step,
+// and the step/exchange barrier guarantees no exchange for cycle N runs
+// after cycle N+1 steps.
+type cycleState struct {
+	seq  uint64
+	kind uint8
+
+	lazy  *core.LazyCapture
+	eager *core.EagerCapture
+
+	views   map[pairKey]*core.ViewExchangeCap
+	tops    map[pairKey]*core.TopExchangeCap
+	fetches map[pairKey][]core.DigestRef // expected offer queue, send order
+	pairs   map[eagerKey]*core.EagerPairCap
+
+	// Partial-result collection for hosted queriers: the exchange phase
+	// acks only after every delivery captured for this cycle has arrived
+	// (or timed out into a divergence).
+	expected     int
+	received     map[partialKey]*wire.PartialResult
+	partialsDone chan struct{}
+	reconciled   bool
+}
+
+// Daemon is one p3qd peer: a full engine replica plus the wire protocol
+// endpoints for the contiguous node range it hosts.
+type Daemon struct {
+	cfg    Config
+	lo, hi tagging.UserID
+
+	ds  *trace.Dataset
+	eng *core.Engine
+
+	tr      Transport
+	ln      net.Listener
+	peersMu sync.RWMutex
+	// peers are the data links: exchange-plane traffic (view/top/fetch/
+	// eager conversations, partial results). ctrl are the lead's control
+	// links for Step/ExchangeGo/QueryIssue broadcasts, nil on members.
+	// The planes never share a connection: an ExchangeGo call parks on
+	// its conn until the member's whole exchange phase completes, and the
+	// lead's own exchange traffic to that member must not queue behind it.
+	peers    []*rpcConn // by daemon index; nil at own index and before Connect
+	ctrl     []*rpcConn
+	counters wireCounters
+	serving  sync.WaitGroup
+	accepted connSet
+
+	// leadMu serializes the lead's cluster operations: cycle broadcasts
+	// and query issues never interleave, which is what makes every
+	// replica execute the identical operation sequence.
+	leadMu sync.Mutex
+
+	// mu guards the replica and all mutable daemon state. It is never
+	// held across an outgoing Call — handlers and exchange loops read
+	// what they need under mu, release it, then speak on the wire —
+	// which is what keeps the full-duplex conversation mesh
+	// deadlock-free.
+	mu      sync.Mutex
+	cycle   *cycleState
+	queries map[uint64]*queryState
+	qorder  []uint64
+	runs    map[uint64]*core.QueryRun
+
+	qstats  map[uint64]*wire.QueryStat // this daemon's per-query byte share (hosted initiators)
+	qsOrder []uint64
+
+	divergence atomic.Uint64
+
+	readyOnce sync.Once
+	ready     chan struct{} // closed when Connect completes the mesh
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+}
+
+// New builds a daemon. Call Start to bring it up and Connect to join the
+// mesh.
+func New(cfg Config, tr Transport) (*Daemon, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("peer: empty address list")
+	}
+	if cfg.Index < 0 || cfg.Index >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("peer: index %d outside the %d-daemon cluster", cfg.Index, len(cfg.Addrs))
+	}
+	if cfg.Engine.Latency != nil {
+		return nil, fmt.Errorf("peer: the wire protocol is cycle-aligned; Engine.Latency must be nil")
+	}
+	lo, hi := hostedRange(cfg.Gen.Users, len(cfg.Addrs), cfg.Index)
+	d := &Daemon{
+		cfg:     cfg,
+		lo:      lo,
+		hi:      hi,
+		tr:      tr,
+		peers:   make([]*rpcConn, len(cfg.Addrs)),
+		ctrl:    make([]*rpcConn, len(cfg.Addrs)),
+		queries: make(map[uint64]*queryState),
+		runs:    make(map[uint64]*core.QueryRun),
+		qstats:  make(map[uint64]*wire.QueryStat),
+		ready:   make(chan struct{}),
+		stopCh:  make(chan struct{}),
+	}
+	return d, nil
+}
+
+// Start regenerates the dataset, bootstraps the replica, and begins
+// serving the wire protocol on this daemon's address.
+func (d *Daemon) Start() error {
+	d.ds = trace.Generate(d.cfg.Gen)
+	d.eng = core.New(d.ds, d.cfg.Engine)
+	d.eng.Bootstrap()
+	ln, err := d.tr.Listen(d.cfg.Addrs[d.cfg.Index])
+	if err != nil {
+		return fmt.Errorf("peer: daemon %d listen: %w", d.cfg.Index, err)
+	}
+	d.ln = ln
+	d.serving.Add(1)
+	go serveListener(ln, &d.counters, d.handle, &d.serving, &d.accepted)
+	return nil
+}
+
+// Connect dials every other daemon and performs the Hello handshake,
+// retrying until the peer is up or the timeout elapses.
+func (d *Daemon) Connect() error {
+	timeout := d.cfg.ConnectTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for i, addr := range d.cfg.Addrs {
+		if i == d.cfg.Index {
+			continue
+		}
+		rc, err := d.dialPeer(addr, i, deadline)
+		if err != nil {
+			return err
+		}
+		d.peersMu.Lock()
+		d.peers[i] = rc
+		d.peersMu.Unlock()
+		if d.cfg.Index == 0 {
+			cc, err := d.dialPeer(addr, i, deadline)
+			if err != nil {
+				return err
+			}
+			d.peersMu.Lock()
+			d.ctrl[i] = cc
+			d.peersMu.Unlock()
+		}
+	}
+	d.readyOnce.Do(func() { close(d.ready) })
+	return nil
+}
+
+// dialPeer establishes one handshaked link to daemon i.
+func (d *Daemon) dialPeer(addr string, i int, deadline time.Time) (*rpcConn, error) {
+	conn, err := d.dialUntil(addr, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("peer: daemon %d dialing daemon %d: %w", d.cfg.Index, i, err)
+	}
+	rc := newRPCConn(conn, &d.counters)
+	if err := d.handshake(rc, i); err != nil {
+		if cerr := rc.Close(); cerr != nil {
+			err = fmt.Errorf("%w (and closing: %v)", err, cerr)
+		}
+		return nil, err
+	}
+	return rc, nil
+}
+
+// waitReady holds an incoming lockstep request until this daemon's own
+// Connect has completed the mesh, bounded by the connect timeout. It
+// reports false if the daemon is shut down or never finishes connecting.
+func (d *Daemon) waitReady() bool {
+	timeout := d.cfg.ConnectTimeout
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	select {
+	case <-d.ready:
+		return true
+	case <-d.stopCh:
+		return false
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// peer returns the link to daemon i, or nil before Connect reaches it.
+func (d *Daemon) peer(i int) *rpcConn {
+	d.peersMu.RLock()
+	defer d.peersMu.RUnlock()
+	return d.peers[i]
+}
+
+// connectedPeers snapshots the mesh, failing while any link is still
+// missing: cluster operations must never silently run on a subset of
+// the replicas, or the replicas stop being replicas.
+func (d *Daemon) connectedPeers() ([]*rpcConn, error) {
+	d.peersMu.RLock()
+	defer d.peersMu.RUnlock()
+	for i, p := range d.peers {
+		if i != d.cfg.Index && p == nil {
+			return nil, fmt.Errorf("peer: daemon %d is not connected to daemon %d yet", d.cfg.Index, i)
+		}
+	}
+	return append([]*rpcConn(nil), d.peers...), nil
+}
+
+// gatewayCall dials a short-lived connection for gateway-plane traffic:
+// submit and status relays, cluster-wide stats aggregation. Gateway
+// calls never share a link with the lockstep or exchange planes — a
+// relay parked behind the lead's cycle mutex must not hold the mutex of
+// a connection the cycle itself needs to complete.
+func (d *Daemon) gatewayCall(target int, req wire.Msg) (wire.Msg, error) {
+	conn, err := d.tr.Dial(d.cfg.Addrs[target])
+	if err != nil {
+		return nil, fmt.Errorf("peer: gateway dial to daemon %d: %w", target, err)
+	}
+	rc := newRPCConn(conn, &d.counters)
+	defer func() {
+		if cerr := rc.Close(); cerr != nil {
+			_ = cerr // short-lived conn; remote may close first
+		}
+	}()
+	return rc.Call(req)
+}
+
+// connectedCtrl snapshots the lead's control links, failing while any is
+// still missing.
+func (d *Daemon) connectedCtrl() ([]*rpcConn, error) {
+	d.peersMu.RLock()
+	defer d.peersMu.RUnlock()
+	for i, p := range d.ctrl {
+		if i != d.cfg.Index && p == nil {
+			return nil, fmt.Errorf("peer: daemon %d has no control link to daemon %d yet", d.cfg.Index, i)
+		}
+	}
+	return append([]*rpcConn(nil), d.ctrl...), nil
+}
+
+func (d *Daemon) dialUntil(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		conn, err := d.tr.Dial(addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func (d *Daemon) handshake(rc *rpcConn, target int) error {
+	resp, err := rc.Call(&wire.Hello{
+		Index:      uint32(d.cfg.Index),
+		Lo:         uint32(d.lo),
+		Hi:         uint32(d.hi),
+		Users:      uint32(d.cfg.Gen.Users),
+		Seed:       d.cfg.Engine.Seed,
+		ConfigSum:  hashSum(fmt.Sprintf("%+v", d.cfg.Engine)),
+		DatasetSum: hashSum(fmt.Sprintf("%+v", d.cfg.Gen)),
+	})
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(*wire.HelloAck)
+	if !ok {
+		return fmt.Errorf("peer: handshake with daemon %d: unexpected %T", target, resp)
+	}
+	if !ack.OK {
+		return fmt.Errorf("peer: daemon %d rejected handshake: %s", target, ack.Reason)
+	}
+	if int(ack.Index) != target {
+		return fmt.Errorf("peer: dialed daemon %d but reached daemon %d", target, ack.Index)
+	}
+	return nil
+}
+
+// hashSum is FNV-1a over a canonical rendering — enough to catch two
+// daemons launched with different flags.
+func hashSum(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s)) // documented to never fail
+	return h.Sum64()
+}
+
+// Close tears the daemon down: listener, peer links, serving goroutines.
+func (d *Daemon) Close() {
+	d.stopOnce.Do(func() { close(d.stopCh) })
+	if d.ln != nil {
+		if err := d.ln.Close(); err != nil {
+			_ = err // listener already closed
+		}
+	}
+	d.peersMu.RLock()
+	links := append([]*rpcConn(nil), d.peers...)
+	links = append(links, d.ctrl...)
+	d.peersMu.RUnlock()
+	for _, p := range links {
+		if p != nil {
+			if err := p.Close(); err != nil {
+				_ = err // link already closed
+			}
+		}
+	}
+	d.accepted.closeAll()
+	d.serving.Wait()
+}
+
+// ShutdownRequested is closed when a wire Shutdown arrives; cmd/p3qd
+// exits on it.
+func (d *Daemon) ShutdownRequested() <-chan struct{} { return d.stopCh }
+
+// Divergence returns how many wire responses contradicted this daemon's
+// replica so far. A healthy cluster stays at zero forever.
+func (d *Daemon) Divergence() uint64 { return d.divergence.Load() }
+
+// Engine exposes the replica for tests and metrics; callers must not
+// mutate it.
+func (d *Daemon) Engine() *core.Engine { return d.eng }
+
+func (d *Daemon) hosts(u tagging.UserID) bool { return u >= d.lo && u < d.hi }
+
+// daemonOf returns the index of the daemon hosting u.
+func (d *Daemon) daemonOf(u tagging.UserID) int {
+	n := len(d.cfg.Addrs)
+	for i := 0; i < n; i++ {
+		lo, hi := hostedRange(d.cfg.Gen.Users, n, i)
+		if u >= lo && u < hi {
+			return i
+		}
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Lead-side cycle driving.
+
+var errNotLead = fmt.Errorf("peer: only the lead daemon (index 0) drives cycles")
+
+// RunLazyCycle steps the whole cluster through one lazy cycle: Step
+// broadcast (every replica advances, captures in hand), then ExchangeGo
+// broadcast (every daemon speaks its hosted initiators' exchanges).
+func (d *Daemon) RunLazyCycle() error { return d.runCycle(wire.StepLazy) }
+
+// RunEagerCycle steps the whole cluster through one eager cycle.
+func (d *Daemon) RunEagerCycle() error { return d.runCycle(wire.StepEager) }
+
+// RunLazyCycles runs n lazy cycles back to back.
+func (d *Daemon) RunLazyCycles(n int) error {
+	for i := 0; i < n; i++ {
+		if err := d.RunLazyCycle(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Daemon) runCycle(kind uint8) error {
+	if d.cfg.Index != 0 {
+		return errNotLead
+	}
+	d.leadMu.Lock()
+	defer d.leadMu.Unlock()
+
+	if _, err := d.connectedPeers(); err != nil {
+		return err
+	}
+	ctrl, err := d.connectedCtrl()
+	if err != nil {
+		return err
+	}
+
+	// Phase 1: every replica steps. Sequential is fine — stepping makes
+	// no outgoing calls.
+	seq := d.stepLocal(kind)
+	for i, p := range ctrl {
+		if p == nil {
+			continue
+		}
+		resp, err := p.Call(&wire.Step{Kind: kind, Seq: seq})
+		if err != nil {
+			return fmt.Errorf("peer: step broadcast to daemon %d: %w", i, err)
+		}
+		ack, ok := resp.(*wire.StepAck)
+		if !ok || ack.Seq != seq {
+			return fmt.Errorf("peer: daemon %d stepped out of lockstep: %+v (want seq %d)", i, resp, seq)
+		}
+	}
+
+	// Phase 2: every daemon runs its exchanges, concurrently — they call
+	// into each other mid-phase. The ExchangeGo call parks on its control
+	// link until the member's whole phase completes; the lead's own
+	// exchange traffic flows on the separate data links meanwhile.
+	errs := make(chan error, len(ctrl))
+	inflight := 0
+	for i, p := range ctrl {
+		if p == nil {
+			continue
+		}
+		inflight++
+		go func(i int, p *rpcConn) {
+			resp, err := p.Call(&wire.ExchangeGo{Seq: seq})
+			if err != nil {
+				errs <- fmt.Errorf("peer: exchange broadcast to daemon %d: %w", i, err)
+				return
+			}
+			if ack, ok := resp.(*wire.ExchangeAck); !ok || ack.Seq != seq {
+				errs <- fmt.Errorf("peer: daemon %d acked the wrong exchange: %+v (want seq %d)", i, resp, seq)
+				return
+			}
+			errs <- nil
+		}(i, p)
+	}
+	ownErr := d.exchangePhase(seq)
+	for ; inflight > 0; inflight-- {
+		if err := <-errs; err != nil && ownErr == nil {
+			ownErr = err
+		}
+	}
+	return ownErr
+}
+
+// SubmitQuery issues a query on every replica of the cluster and returns
+// the (cluster-wide identical) query ID. Lead only; members forward wire
+// submissions here.
+func (d *Daemon) SubmitQuery(q trace.Query) (uint64, error) {
+	if d.cfg.Index != 0 {
+		return 0, errNotLead
+	}
+	d.leadMu.Lock()
+	defer d.leadMu.Unlock()
+	ctrl, err := d.connectedCtrl()
+	if err != nil {
+		return 0, err
+	}
+	qid, ok := d.issueLocal(q)
+	if !ok {
+		return 0, fmt.Errorf("peer: querier %d is offline", q.Querier)
+	}
+	for i, p := range ctrl {
+		if p == nil {
+			continue
+		}
+		resp, err := p.Call(&wire.QueryIssue{Querier: q.Querier, Tags: q.Tags})
+		if err != nil {
+			return 0, fmt.Errorf("peer: issue broadcast to daemon %d: %w", i, err)
+		}
+		ack, okResp := resp.(*wire.QueryIssueAck)
+		if !okResp || !ack.OK {
+			return 0, fmt.Errorf("peer: daemon %d failed to issue the query: %+v", i, resp)
+		}
+		if ack.Qid != qid {
+			d.divergence.Add(1)
+			return 0, fmt.Errorf("peer: daemon %d assigned qid %d, lead assigned %d — replicas diverged", i, ack.Qid, qid)
+		}
+	}
+	return qid, nil
+}
+
+// AllQueriesDone reports whether every query the cluster has issued is
+// complete, per this daemon's replica.
+func (d *Daemon) AllQueriesDone() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.eng.AllQueriesDone()
+}
+
+// RunLead is cmd/p3qd's autonomous driver: warmup lazy cycles, then an
+// eager cycle per tick while queries are in flight, and an optional
+// background lazy cycle cadence. It returns when the daemon is shut down.
+func (d *Daemon) RunLead(warmup int, eagerEvery, lazyEvery time.Duration) error {
+	if err := d.RunLazyCycles(warmup); err != nil {
+		return err
+	}
+	eager := time.NewTicker(eagerEvery)
+	defer eager.Stop()
+	var lazyC <-chan time.Time
+	if lazyEvery > 0 {
+		lazy := time.NewTicker(lazyEvery)
+		defer lazy.Stop()
+		lazyC = lazy.C
+	}
+	for {
+		select {
+		case <-d.stopCh:
+			return nil
+		case <-eager.C:
+			if !d.AllQueriesDone() {
+				if err := d.RunEagerCycle(); err != nil {
+					return err
+				}
+			}
+		case <-lazyC:
+			if err := d.RunLazyCycle(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Step phase.
+
+// stepLocal advances the replica one cycle and installs the new cycle
+// state. It returns the cycle's sequence number.
+func (d *Daemon) stepLocal(kind uint8) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.reconcileLocked() // cycle N+1 steps only after N's exchanges acked
+
+	cs := &cycleState{kind: kind, partialsDone: make(chan struct{})}
+	if kind == wire.StepLazy {
+		cp := d.eng.LazyCycleCaptured()
+		cs.seq = cp.Seq
+		cs.lazy = cp
+		cs.views = make(map[pairKey]*core.ViewExchangeCap, len(cp.Views))
+		for i := range cp.Views {
+			v := &cp.Views[i]
+			cs.views[pairKey{v.Initiator, v.Partner}] = v
+		}
+		cs.tops = make(map[pairKey]*core.TopExchangeCap, len(cp.Tops))
+		cs.fetches = make(map[pairKey][]core.DigestRef)
+		for i := range cp.Tops {
+			t := &cp.Tops[i]
+			if t.HasPartner {
+				cs.tops[pairKey{t.Initiator, t.Partner}] = t
+			}
+			for _, f := range t.Fetches {
+				k := pairKey{t.Initiator, f.Owner}
+				cs.fetches[k] = append(cs.fetches[k], f.Offer)
+			}
+		}
+	} else {
+		cp := d.eng.EagerCycleCaptured()
+		cs.seq = cp.Seq
+		cs.eager = cp
+		cs.pairs = make(map[eagerKey]*core.EagerPairCap, len(cp.Pairs))
+		for i := range cp.Pairs {
+			pc := &cp.Pairs[i]
+			cs.pairs[eagerKey{pc.Qid, pc.Initiator}] = pc
+			// The daemon hosting a gossip's initiator owns that pair's
+			// byte attribution; summed across daemons these reproduce the
+			// engine's per-query totals exactly (pinned by core's capture
+			// tests).
+			if d.hosts(pc.Initiator) {
+				row := d.qstatRowLocked(pc.Qid)
+				row.Forwarded += pc.Bytes.Forwarded
+				row.Returned += pc.Bytes.Returned
+				row.PartialResults += pc.Bytes.PartialResults
+				row.Maintenance += pc.Bytes.Maintenance
+			}
+			if pc.Ok && pc.Delivered && d.hosts(pc.Querier) {
+				cs.expected++
+			}
+		}
+		cs.received = make(map[partialKey]*wire.PartialResult, cs.expected)
+	}
+	if cs.expected == 0 {
+		close(cs.partialsDone)
+	}
+	d.cycle = cs
+	return cs.seq
+}
+
+func (d *Daemon) qstatRowLocked(qid uint64) *wire.QueryStat {
+	row := d.qstats[qid]
+	if row == nil {
+		row = &wire.QueryStat{Qid: qid}
+		d.qstats[qid] = row
+		d.qsOrder = append(d.qsOrder, qid)
+	}
+	return row
+}
+
+// issueLocal issues a query on the replica and, when this daemon hosts
+// the querier, seeds the querier-side state machine from the capture.
+func (d *Daemon) issueLocal(q trace.Query) (uint64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	qr, cp := d.eng.IssueQueryCaptured(q)
+	if qr == nil {
+		return 0, false
+	}
+	d.runs[qr.ID] = qr
+	if !d.hosts(q.Querier) {
+		return qr.ID, true
+	}
+	st := &queryState{
+		qid:     cp.Qid,
+		querier: cp.Querier,
+		needed:  cp.Needed,
+		used:    make(map[tagging.UserID]struct{}, len(cp.UsedOwners)),
+		active:  make(map[tagging.UserID]struct{}),
+		nra:     topk.NewNRA(d.eng.Config().K),
+	}
+	for _, o := range cp.UsedOwners {
+		st.used[o] = struct{}{}
+	}
+	st.nra.Run([][]topk.Entry{cp.Local})
+	if cp.Done {
+		st.done = true
+		st.results = st.nra.Drain()
+		if !entriesEqual(st.results, cp.Results) {
+			d.divergence.Add(1)
+		}
+	} else {
+		st.active[cp.Querier] = struct{}{}
+		st.results = st.nra.TopK()
+	}
+	d.queries[cp.Qid] = st
+	d.qorder = append(d.qorder, cp.Qid)
+	return qr.ID, true
+}
+
+// ---------------------------------------------------------------------
+// Exchange phase.
+
+// exchangePhase speaks cycle seq's exchanges for this daemon's hosted
+// initiators, waits for the partial results owed to its hosted queriers,
+// and folds them into the querier state machines.
+func (d *Daemon) exchangePhase(seq uint64) error {
+	d.mu.Lock()
+	cs := d.cycle
+	d.mu.Unlock()
+	if cs == nil || cs.seq != seq {
+		d.divergence.Add(1)
+		return fmt.Errorf("peer: daemon %d asked to exchange cycle %d but holds %v", d.cfg.Index, seq, cs)
+	}
+	var err error
+	if cs.kind == wire.StepLazy {
+		err = d.runLazyExchanges(cs)
+	} else {
+		err = d.runEagerExchanges(cs)
+		select {
+		case <-cs.partialsDone:
+		case <-time.After(30 * time.Second):
+			// Missing deliveries become divergences in the reconcile.
+		}
+		d.mu.Lock()
+		d.reconcileLocked()
+		d.mu.Unlock()
+	}
+	return err
+}
+
+// runLazyExchanges walks the capture in canonical order and speaks every
+// cross-daemon exchange whose initiator this daemon hosts. Responses are
+// verified against the local capture — the replica already knows what the
+// partner must answer.
+func (d *Daemon) runLazyExchanges(cs *cycleState) error {
+	for i := range cs.lazy.Views {
+		v := &cs.lazy.Views[i]
+		if !d.hosts(v.Initiator) || d.hosts(v.Partner) {
+			continue
+		}
+		resp, err := d.peer(d.daemonOf(v.Partner)).Call(&wire.ViewExchangeReq{
+			Seq: cs.seq, Initiator: v.Initiator, Partner: v.Partner, Buf: refsToWire(v.BufA),
+		})
+		if err != nil {
+			return err
+		}
+		vr, ok := resp.(*wire.ViewExchangeResp)
+		if !ok || !refsMatch(vr.Buf, v.BufB) {
+			d.divergence.Add(1)
+		}
+	}
+	for i := range cs.lazy.Tops {
+		t := &cs.lazy.Tops[i]
+		if !d.hosts(t.Initiator) {
+			continue
+		}
+		if t.HasPartner && !d.hosts(t.Partner) {
+			resp, err := d.peer(d.daemonOf(t.Partner)).Call(&wire.TopExchangeReq{
+				Seq: cs.seq, Initiator: t.Initiator, Partner: t.Partner, Offers: refsToWire(t.OffersA),
+			})
+			if err != nil {
+				return err
+			}
+			tr, ok := resp.(*wire.TopExchangeResp)
+			if !ok || !refsMatch(tr.Offers, t.OffersB) {
+				d.divergence.Add(1)
+			}
+		}
+		for _, f := range t.Fetches {
+			if d.hosts(f.Owner) {
+				continue
+			}
+			resp, err := d.peer(d.daemonOf(f.Owner)).Call(&wire.DirectFetchReq{
+				Seq: cs.seq, Requester: t.Initiator, Owner: f.Owner,
+			})
+			if err != nil {
+				return err
+			}
+			fr, ok := resp.(*wire.DirectFetchResp)
+			if !ok || fr.Offer != refToWire(f.Offer) {
+				d.divergence.Add(1)
+			}
+		}
+	}
+	return nil
+}
+
+// runEagerExchanges walks the capture in canonical pair order. For each
+// hosted initiator with a remote destination it speaks the full gossip
+// conversation; the destination's daemon sends the partial result to the
+// querier's daemon as part of serving the forward. Pairs whose
+// destination is also local produce only the partial-result delivery.
+func (d *Daemon) runEagerExchanges(cs *cycleState) error {
+	for i := range cs.eager.Pairs {
+		pc := &cs.eager.Pairs[i]
+		if !d.hosts(pc.Initiator) || !pc.Ok {
+			continue
+		}
+		if !d.hosts(pc.Dest) {
+			resp, err := d.peer(d.daemonOf(pc.Dest)).Call(&wire.EagerForwardReq{
+				Seq:       cs.seq,
+				Qid:       pc.Qid,
+				Initiator: pc.Initiator,
+				Dest:      pc.Dest,
+				Querier:   pc.Querier,
+				Tags:      pc.Tags,
+				Branch:    pc.Branch,
+				Offers:    refsToWire(pc.OffersA),
+			})
+			if err != nil {
+				return err
+			}
+			fr, ok := resp.(*wire.EagerForwardResp)
+			if !ok || !usersEqual(fr.Returned, pc.Returned) || !refsMatch(fr.Offers, pc.OffersB) {
+				d.divergence.Add(1)
+			}
+			continue
+		}
+		if pc.Delivered {
+			if err := d.deliverPartial(cs, pc); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// deliverPartial carries one destination-resolved partial result list to
+// the querier's daemon (or straight into the local collection when this
+// daemon hosts the querier too).
+func (d *Daemon) deliverPartial(cs *cycleState, pc *core.EagerPairCap) error {
+	msg := &wire.PartialResult{
+		Seq:         cs.seq,
+		Qid:         pc.Qid,
+		Initiator:   pc.Initiator,
+		From:        pc.Dest,
+		Querier:     pc.Querier,
+		FoundOwners: pc.FoundOwners,
+		Entries:     pc.Plist,
+	}
+	if d.hosts(pc.Querier) {
+		d.acceptPartial(msg)
+		return nil
+	}
+	resp, err := d.peer(d.daemonOf(pc.Querier)).Call(msg)
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(*wire.PartialResultAck); !ok {
+		d.divergence.Add(1)
+	}
+	return nil
+}
+
+// acceptPartial records an arriving partial result for the cycle,
+// verifying it against the local replica's capture of the same gossip.
+func (d *Daemon) acceptPartial(msg *wire.PartialResult) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs := d.cycle
+	if cs == nil || cs.kind != wire.StepEager || cs.seq != msg.Seq {
+		d.divergence.Add(1)
+		return
+	}
+	key := partialKey{msg.Qid, msg.Initiator}
+	pc := cs.pairs[key]
+	if pc == nil || !pc.Delivered || !d.hosts(pc.Querier) ||
+		pc.Dest != msg.From || pc.Querier != msg.Querier ||
+		!usersEqual(msg.FoundOwners, pc.FoundOwners) || !entriesEqual(msg.Entries, pc.Plist) {
+		d.divergence.Add(1)
+	}
+	if _, dup := cs.received[key]; dup {
+		d.divergence.Add(1)
+		return
+	}
+	cs.received[key] = msg
+	if len(cs.received) >= cs.expected {
+		select {
+		case <-cs.partialsDone:
+		default:
+			close(cs.partialsDone)
+		}
+	}
+}
+
+// reconcileLocked is the daemon-side endCycle (Algorithm 4): it replays
+// the cycle's captured pairs in canonical order against the hosted
+// querier state machines, feeding the wire-received partial lists to each
+// NRA and resolving done-detection. Any delivery still missing at this
+// point is charged as a divergence.
+func (d *Daemon) reconcileLocked() {
+	cs := d.cycle
+	if cs == nil || cs.kind != wire.StepEager || cs.reconciled {
+		return
+	}
+	cs.reconciled = true
+	for i := range cs.eager.Pairs {
+		pc := &cs.eager.Pairs[i]
+		if !pc.Ok {
+			continue
+		}
+		st := d.queries[pc.Qid]
+		if st == nil {
+			continue
+		}
+		if pc.Delivered && d.hosts(pc.Querier) {
+			msg := cs.received[partialKey{pc.Qid, pc.Initiator}]
+			if msg == nil {
+				// The wire never delivered what the replica proves was
+				// sent; fall back to the capture so the state machine
+				// stays live, but record the divergence.
+				d.divergence.Add(1)
+				msg = &wire.PartialResult{FoundOwners: pc.FoundOwners, Entries: pc.Plist}
+			}
+			for _, o := range msg.FoundOwners {
+				st.used[o] = struct{}{}
+			}
+			st.batch = append(st.batch, msg.Entries)
+		}
+		if len(pc.Keep) > 0 {
+			st.active[pc.Dest] = struct{}{}
+		}
+		if pc.BranchEmptied {
+			delete(st.active, pc.Initiator)
+		} else {
+			st.active[pc.Initiator] = struct{}{}
+		}
+	}
+	for _, qid := range d.qorder {
+		st := d.queries[qid]
+		if st.done {
+			continue
+		}
+		if len(st.batch) > 0 {
+			st.nra.Run(st.batch)
+			st.batch = nil
+		}
+		st.cycles++
+		if len(st.active) == 0 {
+			st.done = true
+			st.results = st.nra.Drain()
+			// Simulator-as-oracle on the final answer: the wire-fed NRA
+			// must land exactly where the replica's own query run did.
+			if qr := d.runs[qid]; qr == nil || !qr.Done() || !entriesEqual(st.results, qr.Results()) {
+				d.divergence.Add(1)
+			}
+		} else {
+			st.results = st.nra.TopK()
+		}
+	}
+}

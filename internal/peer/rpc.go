@@ -1,0 +1,162 @@
+package peer
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"p3q/internal/wire"
+)
+
+// wireCounters tallies raw wire volume. Every daemon owns one; all of its
+// connections (dialed and accepted) report into it.
+type wireCounters struct {
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+}
+
+// countingConn counts the bytes a connection puts on the wire.
+type countingConn struct {
+	net.Conn
+	counters *wireCounters
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.counters.bytes.Add(uint64(n))
+	return n, err
+}
+
+// rpcConn is the client side of a daemon-to-daemon link: a synchronous
+// request/response channel. Calls are serialized by the mutex, so one
+// connection carries one conversation at a time and responses can never
+// interleave.
+type rpcConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *wire.Writer
+	r  *wire.Reader
+
+	counters *wireCounters
+}
+
+func newRPCConn(c net.Conn, counters *wireCounters) *rpcConn {
+	cc := &countingConn{Conn: c, counters: counters}
+	return &rpcConn{c: c, w: wire.NewWriter(cc), r: wire.NewReader(cc), counters: counters}
+}
+
+// Call sends req and blocks for the response.
+func (c *rpcConn) Call(req wire.Msg) (wire.Msg, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteMsg(c.w, req); err != nil {
+		return nil, fmt.Errorf("peer: sending %T: %w", req, err)
+	}
+	c.counters.msgs.Add(1)
+	resp, err := wire.ReadMsg(c.r)
+	if err != nil {
+		return nil, fmt.Errorf("peer: awaiting response to %T: %w", req, err)
+	}
+	return resp, nil
+}
+
+// Close tears the link down.
+func (c *rpcConn) Close() error { return c.c.Close() }
+
+// connSet tracks accepted connections so Close can interrupt their
+// blocked reads; without it a daemon cannot shut down until every peer
+// that dialed it hangs up first.
+type connSet struct {
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// add registers a live connection, or reports that the set is already
+// closed and the connection should be dropped.
+func (s *connSet) add(c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[c] = struct{}{}
+	return true
+}
+
+func (s *connSet) remove(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// closeAll closes every tracked connection and refuses new ones.
+func (s *connSet) closeAll() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		if err := c.Close(); err != nil {
+			_ = err // remote already hung up
+		}
+	}
+}
+
+// serveListener accepts connections and serves each with its own
+// goroutine, so a slow conversation on one link never blocks another —
+// the lockstep protocol relies on a daemon answering exchange requests
+// while it is itself mid-exchange.
+func serveListener(l net.Listener, counters *wireCounters, handle func(wire.Msg) wire.Msg, done *sync.WaitGroup, accepted *connSet) {
+	defer done.Done()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		if !accepted.add(conn) {
+			if err := conn.Close(); err != nil {
+				_ = err // daemon is shutting down; the conn is unwanted
+			}
+			return
+		}
+		done.Add(1)
+		go serveConn(conn, counters, handle, done, accepted)
+	}
+}
+
+// serveConn answers requests on one accepted connection until it closes
+// or a protocol error desynchronizes the stream.
+func serveConn(conn net.Conn, counters *wireCounters, handle func(wire.Msg) wire.Msg, done *sync.WaitGroup, accepted *connSet) {
+	defer done.Done()
+	defer accepted.remove(conn)
+	defer func() {
+		if err := conn.Close(); err != nil {
+			_ = err // already closing; nothing to do with a second failure
+		}
+	}()
+	cc := &countingConn{Conn: conn, counters: counters}
+	r := wire.NewReader(cc)
+	w := wire.NewWriter(cc)
+	for {
+		req, err := wire.ReadMsg(r)
+		if err != nil {
+			return
+		}
+		resp := handle(req)
+		if resp == nil {
+			return
+		}
+		if err := wire.WriteMsg(w, resp); err != nil {
+			return
+		}
+		counters.msgs.Add(1)
+	}
+}

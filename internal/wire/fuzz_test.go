@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzWireMessage throws arbitrary bytes at the frame decoder. Any input
+// must either fail cleanly or decode to a message that re-encodes and
+// re-decodes to itself — the decoder is the trust boundary of the peer
+// daemon, so it must never panic, never over-allocate, and never accept a
+// frame it cannot reproduce.
+//
+// The committed seed corpus (testdata/fuzz/FuzzWireMessage) holds one
+// valid frame per message type, generated from sampleMessages by
+// TestSeedCorpusCommitted with -update-corpus.
+func FuzzWireMessage(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(encodeFrame(f, m))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadMsg(NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMsg(NewWriter(&buf), m); err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", m, err)
+		}
+		m2, err := ReadMsg(NewReader(&buf))
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v", m, err)
+		}
+		if !reflect.DeepEqual(m, m2) {
+			t.Fatalf("%T unstable under re-encoding:\n first %+v\nsecond %+v", m, m, m2)
+		}
+	})
+}
+
+// corpusEntry renders one seed input in the Go fuzz corpus file format.
+func corpusEntry(frame []byte) string {
+	return "go test fuzz v1\n[]byte(" + strconv.Quote(string(frame)) + ")\n"
+}
+
+// corpusName returns the committed corpus file name for a message.
+func corpusName(m Msg) string {
+	name := reflect.TypeOf(m).Elem().Name()
+	return "seed-" + strings.ToLower(name)
+}
+
+var updateCorpus = os.Getenv("WIRE_UPDATE_CORPUS") != ""
+
+// TestSeedCorpusCommitted keeps the committed fuzz seed corpus in lock
+// step with the wire format: one file per message type, each holding that
+// type's sample frame. Run with WIRE_UPDATE_CORPUS=1 to regenerate after
+// a deliberate format change.
+func TestSeedCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireMessage")
+	if updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range sampleMessages() {
+		path := filepath.Join(dir, corpusName(m))
+		want := corpusEntry(encodeFrame(t, m))
+		if updateCorpus {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%T: %v (run with WIRE_UPDATE_CORPUS=1 to regenerate)", m, err)
+		}
+		if string(got) != want {
+			t.Errorf("%T: committed corpus file %s is stale (run with WIRE_UPDATE_CORPUS=1 to regenerate)", m, path)
+		}
+	}
+	if updateCorpus {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		known := make(map[string]bool)
+		for _, m := range sampleMessages() {
+			known[corpusName(m)] = true
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), "seed-") && !known[e.Name()] {
+				t.Errorf("stale corpus file %s for a retired message type", e.Name())
+			}
+		}
+	}
+}
+
+// TestCorpusEntriesDecode proves every committed seed is a valid frame —
+// the fuzzer starts from meaningful coverage, not dead inputs.
+func TestCorpusEntriesDecode(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWireMessage")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading corpus dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("empty seed corpus")
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err := parseCorpusEntry(string(data))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if _, err := ReadMsg(NewReader(bytes.NewReader(frame))); err != nil {
+			t.Errorf("%s: committed seed does not decode: %v", e.Name(), err)
+		}
+	}
+}
+
+// parseCorpusEntry reads back the Go fuzz corpus file format written by
+// corpusEntry.
+func parseCorpusEntry(s string) ([]byte, error) {
+	lines := strings.SplitN(s, "\n", 3)
+	if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+		return nil, fmt.Errorf("not a go fuzz corpus entry")
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+	unquoted, err := strconv.Unquote(body)
+	if err != nil {
+		return nil, fmt.Errorf("unquoting corpus body: %w", err)
+	}
+	return []byte(unquoted), nil
+}

@@ -1,0 +1,254 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"p3q/internal/tagging"
+	"p3q/internal/topk"
+)
+
+// sampleMessages returns one fully populated message per wire type. The
+// round-trip test, the fuzz seed corpus and the corpus-drift check all
+// derive from this single list, so adding a message type here is the only
+// step needed to cover it everywhere.
+func sampleMessages() []Msg {
+	refs := []DigestRef{
+		{Owner: 3, Version: 2, Bytes: 96},
+		{Owner: 17, Version: 0, Bytes: 40},
+	}
+	refs2 := []DigestRef{{Owner: 8, Version: 5, Bytes: 128}}
+	users := []tagging.UserID{4, 9, 21}
+	tags := []tagging.TagID{2, 7}
+	entries := []topk.Entry{{Item: 11, Score: 5}, {Item: 3, Score: 2}}
+
+	return []Msg{
+		&Hello{Index: 1, Lo: 20, Hi: 40, Users: 60, Seed: 42, ConfigSum: 0xDEAD, DatasetSum: 0xBEEF},
+		&HelloAck{OK: false, Index: 0, Reason: "seed mismatch"},
+		&Step{Kind: StepEager, Seq: 9},
+		&StepAck{Seq: 9},
+		&ExchangeGo{Seq: 9},
+		&ExchangeAck{Seq: 9, Divergence: 1},
+		&Shutdown{},
+		&ShutdownAck{},
+		&ViewExchangeReq{Seq: 4, Initiator: 5, Partner: 31, Buf: refs},
+		&ViewExchangeResp{Buf: refs2},
+		&TopExchangeReq{Seq: 4, Initiator: 5, Partner: 31, Offers: refs},
+		&TopExchangeResp{Offers: refs2},
+		&DirectFetchReq{Seq: 4, Requester: 5, Owner: 31},
+		&DirectFetchResp{Offer: DigestRef{Owner: 31, Version: 3, Bytes: 88}},
+		&EagerForwardReq{Seq: 6, Qid: 2, Initiator: 5, Dest: 31, Querier: 4, Tags: tags, Branch: users, Offers: refs},
+		&EagerForwardResp{Returned: users, Offers: refs2},
+		&PartialResult{Seq: 6, Qid: 2, Initiator: 5, From: 31, Querier: 4, FoundOwners: users, Entries: entries},
+		&PartialResultAck{},
+		&QuerySubmit{Querier: 4, Tags: tags},
+		&QuerySubmitAck{OK: true, Qid: 2},
+		&QueryIssue{Querier: 4, Tags: tags},
+		&QueryIssueAck{OK: true, Qid: 2},
+		&QueryStatus{Qid: 2},
+		&QueryStatusResp{
+			Known: true, Done: true, Cycles: 7, Used: 12, Needed: 12,
+			Forwarded: 640, Returned: 320, PartialResults: 480, Maintenance: 4096,
+			Results: entries,
+		},
+		&Stats{},
+		&StatsResp{
+			Index: 1, LazyCycles: 30, EagerCycles: 12, Divergence: 0,
+			WireMsgs: 210, WireBytes: 68000,
+			Queries: []QueryStat{
+				{Qid: 1, Done: true, Forwarded: 640, Returned: 320, PartialResults: 480, Maintenance: 4096},
+				{Qid: 2, Done: false, Forwarded: 120},
+			},
+		},
+	}
+}
+
+func encodeFrame(t testing.TB, m Msg) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMsg(NewWriter(&buf), m); err != nil {
+		t.Fatalf("WriteMsg(%T): %v", m, err)
+	}
+	return buf.Bytes()
+}
+
+// TestSampleMessagesCoverEveryType guards the sample list against rotting
+// as message types are added.
+func TestSampleMessagesCoverEveryType(t *testing.T) {
+	seen := make(map[Type]bool)
+	for _, m := range sampleMessages() {
+		if seen[m.WireType()] {
+			t.Errorf("duplicate sample for type %d", m.WireType())
+		}
+		seen[m.WireType()] = true
+	}
+	for ty := Type(0); ty < 64; ty++ {
+		if _, known := newMsg(ty); known && !seen[ty] {
+			t.Errorf("message type %d has no sample", ty)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame := encodeFrame(t, m)
+		got, err := ReadMsg(NewReader(bytes.NewReader(frame)))
+		if err != nil {
+			t.Errorf("%T: ReadMsg: %v", m, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("%T: round trip mismatch:\n got %+v\nwant %+v", m, got, m)
+		}
+	}
+}
+
+// TestStreamOfFrames checks that back-to-back frames on one stream decode
+// in order through a single persistent Reader — the per-connection shape
+// the daemon uses.
+func TestStreamOfFrames(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msgs := sampleMessages()
+	for _, m := range msgs {
+		if err := WriteMsg(w, m); err != nil {
+			t.Fatalf("WriteMsg(%T): %v", m, err)
+		}
+	}
+	r := NewReader(&buf)
+	for _, want := range msgs {
+		got, err := ReadMsg(r)
+		if err != nil {
+			t.Fatalf("ReadMsg (want %T): %v", want, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("stream mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	if _, err := ReadMsg(r); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("exhausted stream: got %v, want io.ErrUnexpectedEOF", err)
+	}
+}
+
+// TestTruncation feeds every proper prefix of every sample frame to the
+// decoder: each must fail cleanly as an unexpected EOF, never panic and
+// never succeed.
+func TestTruncation(t *testing.T) {
+	for _, m := range sampleMessages() {
+		frame := encodeFrame(t, m)
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := ReadMsg(NewReader(bytes.NewReader(frame[:cut]))); !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Fatalf("%T cut at %d/%d: got %v, want io.ErrUnexpectedEOF", m, cut, len(frame), err)
+			}
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	frame := encodeFrame(t, &StepAck{Seq: 1})
+	frame[0] ^= 0xFF
+	if _, err := ReadMsg(NewReader(bytes.NewReader(frame))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	frame := encodeFrame(t, &StepAck{Seq: 1})
+	frame[4] ^= 0xFF // low byte of the version field
+	_, err := ReadMsg(NewReader(bytes.NewReader(frame)))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("got %v, want a version mismatch error", err)
+	}
+}
+
+func TestUnknownType(t *testing.T) {
+	frame := encodeFrame(t, &StepAck{Seq: 1})
+	frame[6] = 0xFF // low byte of the type field
+	frame[7] = 0xFF
+	_, err := ReadMsg(NewReader(bytes.NewReader(frame)))
+	if err == nil || !strings.Contains(err.Error(), "unknown message type") {
+		t.Fatalf("got %v, want an unknown-type error", err)
+	}
+}
+
+func TestCorruptEndMarker(t *testing.T) {
+	frame := encodeFrame(t, &StepAck{Seq: 1})
+	frame[len(frame)-1] ^= 0xFF
+	_, err := ReadMsg(NewReader(bytes.NewReader(frame)))
+	if err == nil || !strings.Contains(err.Error(), "end marker") {
+		t.Fatalf("got %v, want an end-marker error", err)
+	}
+}
+
+// TestOversizedCount crafts a ViewExchangeResp announcing more digest
+// refs than MaxListLen: the bound must trip before any allocation is
+// attempted.
+func TestOversizedCount(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.begin(TypeViewExchangeResp)
+	w.U32(MaxListLen + 1)
+	if err := w.finish(); err != nil {
+		t.Fatalf("crafting frame: %v", err)
+	}
+	_, err := ReadMsg(NewReader(&buf))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("got %v, want a count-limit error", err)
+	}
+}
+
+func TestInvalidBool(t *testing.T) {
+	frame := encodeFrame(t, &HelloAck{OK: true, Index: 2})
+	frame[8] = 7 // the OK byte, right after the 8-byte header
+	_, err := ReadMsg(NewReader(bytes.NewReader(frame)))
+	if err == nil || !strings.Contains(err.Error(), "boolean") {
+		t.Fatalf("got %v, want an invalid-boolean error", err)
+	}
+}
+
+func TestInvalidStepKind(t *testing.T) {
+	frame := encodeFrame(t, &Step{Kind: StepLazy, Seq: 3})
+	frame[8] = 9 // the kind byte
+	_, err := ReadMsg(NewReader(bytes.NewReader(frame)))
+	if err == nil || !strings.Contains(err.Error(), "step kind") {
+		t.Fatalf("got %v, want a step-kind error", err)
+	}
+}
+
+// TestWriterRejectsOversizedString pins the writer-side guard: oversized
+// reject reasons fail loudly at the sender instead of desynchronizing the
+// stream.
+func TestWriterRejectsOversizedString(t *testing.T) {
+	var buf bytes.Buffer
+	m := &HelloAck{Reason: strings.Repeat("x", MaxStringLen+1)}
+	if err := WriteMsg(NewWriter(&buf), m); err == nil {
+		t.Fatal("oversized string was accepted")
+	}
+}
+
+// TestWriterErrorsAreSticky checks that a failing sink poisons the Writer
+// permanently and the frame-level error surfaces it.
+func TestWriterErrorsAreSticky(t *testing.T) {
+	w := NewWriter(failingWriter{})
+	err := WriteMsg(w, &StatsResp{Queries: []QueryStat{{Qid: 1}}})
+	if err == nil {
+		t.Fatal("write to failing sink succeeded")
+	}
+	if w.Err() == nil {
+		t.Fatal("sticky error not retained")
+	}
+	if second := WriteMsg(w, &Stats{}); !errors.Is(second, err) && second == nil {
+		t.Fatal("poisoned writer accepted another frame")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) {
+	return 0, fmt.Errorf("sink closed")
+}
