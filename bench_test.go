@@ -21,6 +21,7 @@ import (
 	"p3q/internal/analysis"
 	"p3q/internal/core"
 	"p3q/internal/experiments"
+	"p3q/internal/obs"
 	"p3q/internal/topk"
 	"p3q/internal/trace"
 )
@@ -271,14 +272,36 @@ func lazyWorkerCounts() []int {
 	return counts
 }
 
+// attachObs attaches a telemetry registry to a bench engine. The registry
+// is fingerprint-neutral by contract (pinned by TestObsFingerprintInvariance)
+// but turns on per-shard commit timing, so the tracked benches measure the
+// engine exactly as the instrumented daemons and cmd/p3qsim run it — the
+// benchjson alloc gate then also holds the instrumentation itself to the
+// allocation budget.
+func attachObs(e *p3q.Engine) *obs.Registry {
+	reg := obs.New()
+	e.SetObs(reg)
+	return reg
+}
+
 // reportPhaseMetrics converts a PhaseDurations window into per-op plan and
 // commit metrics, so the bench artifacts track the two phases separately —
 // the commit phase was the Amdahl limit of both cycle kinds before it was
 // sharded, and these metrics pin how much of each cycle it still costs.
-func reportPhaseMetrics(b *testing.B, e *p3q.Engine, plan0, commit0 time.Duration) {
+// With a registry attached it also reports the mean and max max-min commit
+// skew across the registry's samples: the imbalance between the fastest
+// and slowest commit shard of a cycle, the number the locality-aware
+// scheduling work (ROADMAP) wants to shrink.
+func reportPhaseMetrics(b *testing.B, e *p3q.Engine, reg *obs.Registry, plan0, commit0 time.Duration) {
 	plan1, commit1 := e.PhaseDurations()
 	b.ReportMetric(float64(plan1-plan0)/float64(b.N), "plan-ns/op")
 	b.ReportMetric(float64(commit1-commit0)/float64(b.N), "commit-ns/op")
+	if reg != nil {
+		if _, max, mean, samples := reg.CommitSkew(); samples > 0 {
+			b.ReportMetric(float64(mean), "commit-skew-ns")
+			b.ReportMetric(float64(max), "commit-skew-max-ns")
+		}
+	}
 }
 
 // allocBaseline snapshots the cumulative heap-allocation counter so the
@@ -318,6 +341,7 @@ func BenchmarkLazyConvergence5k(b *testing.B) {
 			e := p3q.NewEngine(ds, cfg)
 			e.Bootstrap()
 			e.RunLazy(2) // past the empty-network cold start
+			reg := attachObs(e)
 			plan0, commit0 := e.PhaseDurations()
 			alloc0 := allocBaseline()
 			b.ResetTimer()
@@ -326,7 +350,7 @@ func BenchmarkLazyConvergence5k(b *testing.B) {
 			}
 			b.StopTimer()
 			reportAllocPerNode(b, e.Users(), alloc0)
-			reportPhaseMetrics(b, e, plan0, commit0)
+			reportPhaseMetrics(b, e, reg, plan0, commit0)
 		})
 	}
 }
@@ -360,6 +384,7 @@ func BenchmarkEagerBurst5k(b *testing.B) {
 				}
 			}
 			issueBurst()
+			reg := attachObs(e)
 			plan0, commit0 := e.PhaseDurations()
 			alloc0 := allocBaseline()
 			b.ResetTimer()
@@ -377,7 +402,7 @@ func BenchmarkEagerBurst5k(b *testing.B) {
 			}
 			b.StopTimer()
 			reportAllocPerNode(b, e.Users(), alloc0)
-			reportPhaseMetrics(b, e, plan0, commit0)
+			reportPhaseMetrics(b, e, reg, plan0, commit0)
 		})
 	}
 }
@@ -449,6 +474,7 @@ func BenchmarkLazyConvergence100k(b *testing.B) {
 			e := p3q.NewEngine(ds, cfg)
 			e.Bootstrap()
 			e.RunLazy(1) // one warm-up cycle: enough to leave the cold start
+			reg := attachObs(e)
 			plan0, commit0 := e.PhaseDurations()
 			alloc0 := allocBaseline()
 			b.ResetTimer()
@@ -457,7 +483,7 @@ func BenchmarkLazyConvergence100k(b *testing.B) {
 			}
 			b.StopTimer()
 			reportAllocPerNode(b, e.Users(), alloc0)
-			reportPhaseMetrics(b, e, plan0, commit0)
+			reportPhaseMetrics(b, e, reg, plan0, commit0)
 		})
 	}
 }

@@ -105,8 +105,17 @@ func main() {
 		fmt.Printf("lazy_cycles %d\n", st.LazyCycles)
 		fmt.Printf("eager_cycles %d\n", st.EagerCycles)
 		fmt.Printf("divergence %d\n", st.Divergence)
+		fmt.Printf("frozen_events %d\n", st.FrozenEvents)
+		fmt.Printf("pending_events %d\n", st.PendingEvents)
+		fmt.Printf("plan_ns %d\n", st.PlanNanos)
+		fmt.Printf("commit_ns %d\n", st.CommitNanos)
+		fmt.Printf("commit_skew_max_ns %d\n", st.SkewMaxNanos)
 		fmt.Printf("wire_msgs %d\n", st.WireMsgs)
 		fmt.Printf("wire_bytes %d\n", st.WireBytes)
+		fmt.Printf("wire_plane data msgs %d bytes %d\n", st.Data.Msgs, st.Data.Bytes)
+		fmt.Printf("wire_plane ctrl msgs %d bytes %d\n", st.Ctrl.Msgs, st.Ctrl.Bytes)
+		fmt.Printf("wire_plane gateway msgs %d bytes %d\n", st.Gateway.Msgs, st.Gateway.Bytes)
+		fmt.Printf("wire_plane served msgs %d bytes %d\n", st.Served.Msgs, st.Served.Bytes)
 		for _, q := range st.Queries {
 			fmt.Printf("query %d done %v bytes_forwarded %d bytes_returned %d bytes_partial %d bytes_maintenance %d\n",
 				q.Qid, q.Done, q.Forwarded, q.Returned, q.PartialResults, q.Maintenance)

@@ -51,6 +51,7 @@ func main() {
 		eagerEvery = flag.Duration("eager-every", 20*time.Millisecond, "lead only: eager cycle cadence while queries are in flight")
 		lazyEvery  = flag.Duration("lazy-every", 0, "lead only: background lazy cycle cadence (0 = none)")
 		connectFor = flag.Duration("connect-timeout", 10*time.Second, "how long to wait for peers to come up")
+		httpAddr   = flag.String("http", "", "serve Prometheus /metrics and /debug/pprof on this host:port (empty = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -79,6 +80,14 @@ func main() {
 		die("%v", err)
 	}
 	fmt.Printf("p3qd: daemon %d/%d serving %s\n", *index, len(list), list[*index])
+	if *httpAddr != "" {
+		taddr, err := d.StartHTTP(*httpAddr)
+		if err != nil {
+			d.Close()
+			die("%v", err)
+		}
+		fmt.Printf("p3qd: daemon %d telemetry on http://%s/metrics\n", *index, taddr)
+	}
 	if err := d.Connect(); err != nil {
 		die("%v", err)
 	}

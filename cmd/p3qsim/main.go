@@ -26,6 +26,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +37,7 @@ import (
 	"p3q/internal/core"
 	"p3q/internal/experiments"
 	"p3q/internal/metrics"
+	"p3q/internal/obs"
 	"p3q/internal/sim"
 	"p3q/internal/trace"
 )
@@ -63,6 +66,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 0, "converge driver: write a checkpoint every N cycles into -checkpoint-dir (0 = only the final checkpoint, if a dir is set)")
 		ckptDir   = flag.String("checkpoint-dir", "", "converge driver: directory receiving checkpoint_cycle_NNNN.p3qc files")
 		resume    = flag.String("resume", "", "converge driver: restore engine state from this checkpoint file and continue the run")
+		obsOut    = flag.String("obs-out", "", "converge driver: stream query lifecycle events as JSON lines into this file ('-' = stderr); attaching the stream never changes the run")
 	)
 	flag.Parse()
 
@@ -108,6 +112,9 @@ func main() {
 	if usesCheckpoints && *exp != "converge" {
 		die("checkpoint flags apply to the converge driver; run with -exp converge")
 	}
+	if *obsOut != "" && *exp != "converge" {
+		die("-obs-out applies to the converge driver; run with -exp converge")
+	}
 
 	switch *exp {
 	case "list":
@@ -123,7 +130,7 @@ func main() {
 		}
 		return
 	case "converge":
-		runConverge(cfg, *ckptEvery, *ckptDir, *resume)
+		runConverge(cfg, *ckptEvery, *ckptDir, *resume, *obsOut)
 		return
 	default:
 		r, ok := experiments.Lookup(*exp)
@@ -141,7 +148,12 @@ func main() {
 // engine restores from the given file — over the deterministically
 // regenerated base trace, so the same flags must be passed — and continues
 // exactly where the checkpointed run stopped.
-func runConverge(cfg experiments.Config, every int, dir, resume string) {
+//
+// The driver always attaches a telemetry registry (observation is
+// fingerprint-neutral by the obs contract) and prints a progress line to
+// stderr every couple of seconds; with obsOut set it additionally streams
+// every query lifecycle event as one JSON line.
+func runConverge(cfg experiments.Config, every int, dir, resume, obsOut string) {
 	start := time.Now()
 	// cfg.CoreConfig is the same derivation the experiments harness uses,
 	// so a checkpoint written here restores in either with the same flags.
@@ -169,6 +181,29 @@ func runConverge(cfg experiments.Config, every int, dir, resume string) {
 		e.Bootstrap()
 	}
 
+	reg := obs.New()
+	e.SetObs(reg)
+	if obsOut != "" {
+		closeSink, err := streamEvents(reg, obsOut)
+		if err != nil {
+			die("%v", err)
+		}
+		defer closeSink()
+	}
+	lastProgress := time.Now()
+	progress := func(mode string) {
+		if time.Since(lastProgress) < 2*time.Second {
+			return
+		}
+		lastProgress = time.Now()
+		plan, commit := e.PhaseDurations()
+		fmt.Fprintf(os.Stderr, "[%s lazy=%d eager=%d issued=%d settled=%d frozen=%d commit_bytes=%d plan=%s commit=%s]\n",
+			mode, e.LazyCycles(), e.EagerCycles(),
+			reg.Counter(obs.CQueriesIssued), reg.Counter(obs.CQueriesSettled),
+			reg.EventCount(obs.EvFrozen), reg.Counter(obs.CCommitBytes),
+			plan.Round(time.Millisecond), commit.Round(time.Millisecond))
+	}
+
 	cycles := func() int { return e.LazyCycles() + e.EagerCycles() }
 	lastCkpt := -1
 	maybeCheckpoint := func(force bool) {
@@ -189,6 +224,7 @@ func runConverge(cfg experiments.Config, every int, dir, resume string) {
 	for e.LazyCycles() < cfg.Cycles {
 		e.LazyCycle()
 		maybeCheckpoint(false)
+		progress("converge")
 	}
 	if len(e.Queries()) == 0 {
 		queries := trace.GenerateQueries(ds, cfg.Seed+1)
@@ -199,12 +235,62 @@ func runConverge(cfg experiments.Config, every int, dir, resume string) {
 	for e.EagerCycles() < cfg.Cycles*10 && !e.AllQueriesDone() {
 		e.EagerCycle()
 		maybeCheckpoint(false)
+		progress("query")
 	}
 	maybeCheckpoint(true)
 
 	fmt.Printf("%s\n[converge: %d lazy + %d eager cycles in %s, users=%d s=%d seed=%d]\n",
 		e.Stats(), e.LazyCycles(), e.EagerCycles(), time.Since(start).Round(time.Millisecond),
 		cfg.Users, cfg.S, cfg.Seed)
+}
+
+// streamEvents wires a JSON-lines sink into the registry, one object per
+// query lifecycle event, and returns the flush/close function. "-" streams
+// to stderr so the event log interleaves with the progress lines.
+func streamEvents(reg *obs.Registry, path string) (func(), error) {
+	out := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("cannot open -obs-out file: %v", err)
+		}
+		out = f
+	}
+	bw := bufio.NewWriter(out)
+	enc := json.NewEncoder(bw)
+	type jsonEvent struct {
+		Kind  string `json:"kind"`
+		Qid   uint64 `json:"qid"`
+		Cycle uint64 `json:"cycle"`
+		AtNs  int64  `json:"at_ns"`
+		Node  uint64 `json:"node"`
+		Peer  uint64 `json:"peer"`
+		Bytes uint64 `json:"bytes,omitempty"`
+	}
+	reg.SetSink(func(ev obs.QueryEvent) {
+		err := enc.Encode(jsonEvent{
+			Kind:  ev.Kind.String(),
+			Qid:   ev.Qid,
+			Cycle: ev.Cycle,
+			AtNs:  ev.At.Nanoseconds(),
+			Node:  ev.Node,
+			Peer:  ev.Peer,
+			Bytes: ev.Bytes,
+		})
+		if err != nil {
+			die("writing -obs-out stream: %v", err)
+		}
+	})
+	return func() {
+		if err := bw.Flush(); err != nil {
+			die("flushing -obs-out stream: %v", err)
+		}
+		if out != os.Stderr {
+			if err := out.Close(); err != nil {
+				die("closing -obs-out file: %v", err)
+			}
+		}
+	}, nil
 }
 
 // writeCheckpoint snapshots the engine into path, creating the directory on

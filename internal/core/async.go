@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"p3q/internal/hostclock"
+	"p3q/internal/obs"
 	"p3q/internal/sim"
 	"p3q/internal/tagging"
 	"p3q/internal/topk"
@@ -95,6 +96,7 @@ func (e *Engine) eagerCycleAsync() {
 	seq := e.cycleSeq
 	e.cycleSeq++
 	pairs := e.eagerPairs()
+	e.obs.Add(obs.CGossipsPlanned, uint64(len(pairs)))
 	if len(pairs) > 0 {
 		sw := hostclock.Start()
 		e.forEachNode(func(n *Node) {
@@ -105,7 +107,7 @@ func (e *Engine) eagerCycleAsync() {
 		e.forEachIndex(len(pairs), func(i int) {
 			e.planEagerGossipInto(pairs[i], seq, &plans[i])
 		})
-		e.planDur += sw.Elapsed()
+		e.samplePhase(obs.PhasePlan, sw.Elapsed())
 		sw = hostclock.Start()
 		e.commitSharded(func(sh *commitShard) {
 			for i := range plans {
@@ -113,12 +115,13 @@ func (e *Engine) eagerCycleAsync() {
 			}
 		})
 		e.scheduleEagerGossips(plans, seq, t0)
-		e.commitDur += sw.Elapsed()
+		e.samplePhase(obs.PhaseCommit, sw.Elapsed())
 	}
 	e.pumpEvents(t1)
 	e.endCycleAsync(seq)
 	e.now = t1
 	e.eagerCycles++
+	e.obs.Inc(obs.CEagerCycles)
 }
 
 // commitEagerGossipShardAsync applies the shard-owned *immediate* effects
@@ -185,6 +188,7 @@ func (e *Engine) scheduleEagerGossips(plans []eagerPlan, seq uint64, t0 time.Dur
 		if !p.ok {
 			continue
 		}
+		e.emitEagerHops(p, &t)
 		qr.reached[p.dest] = struct{}{}
 		qr.bytes.Maintenance += p.exch.ledger.Total().TotalBytes() + p.peerBytes + p.selfBytes
 
@@ -225,6 +229,7 @@ func (e *Engine) scheduleEagerGossips(plans []eagerPlan, seq uint64, t0 time.Dur
 func (e *Engine) scheduleEagerEvent(at time.Duration, ev *eagerEvent) {
 	e.queries[ev.qid].inflight++
 	e.events.Schedule(at, ev)
+	e.obs.Inc(obs.CEventsScheduled)
 }
 
 // pumpEvents applies every delivery event due at or before t, in
@@ -260,6 +265,8 @@ func (e *Engine) replayFrozen() {
 	for _, id := range ids {
 		for _, ev := range e.frozen[id] {
 			e.events.Schedule(e.now, ev)
+			e.obs.Inc(obs.CEventsReplayed)
+			e.emitQueryEvent(obs.EvReplayed, ev.qid, e.now, id, 0, 0)
 		}
 		delete(e.frozen, id)
 	}
@@ -271,6 +278,8 @@ func (e *Engine) replayFrozen() {
 func (e *Engine) applyEagerEvent(ev *eagerEvent, at time.Duration) {
 	if !e.net.Online(ev.node) {
 		e.frozen[ev.node] = append(e.frozen[ev.node], ev)
+		e.obs.Inc(obs.CEventsFrozen)
+		e.emitQueryEvent(obs.EvFrozen, ev.qid, at, ev.node, 0, 0)
 		return
 	}
 	qr := e.queries[ev.qid]
@@ -294,9 +303,11 @@ func (qr *QueryRun) deliverAsync(list []topk.Entry, owners []tagging.UserID, at 
 		qr.used[o] = struct{}{}
 	}
 	qr.partialMsgs++
+	qr.e.obs.Inc(obs.CPartialsDelivered)
 	if !qr.hasFirst {
 		qr.hasFirst = true
 		qr.firstAt = at
+		qr.e.emitQueryEvent(obs.EvFirstPartial, qr.ID, at, qr.Query.Querier, 0, 0)
 	}
 	qr.results = qr.nra.Run([][]topk.Entry{list})
 }
@@ -313,6 +324,8 @@ func (qr *QueryRun) maybeSettle(at time.Duration, seq uint64) {
 	qr.doneAt = at
 	qr.settledSeq = seq
 	qr.results = qr.nra.Drain()
+	qr.e.obs.Inc(obs.CQueriesSettled)
+	qr.e.emitQueryEvent(obs.EvSettled, qr.ID, at, qr.Query.Querier, 0, 0)
 }
 
 // endCycleAsync closes one asynchronous eager cycle: queries that settled

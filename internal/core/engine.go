@@ -7,6 +7,7 @@ import (
 
 	"p3q/internal/gossip"
 	"p3q/internal/hostclock"
+	"p3q/internal/obs"
 	"p3q/internal/randx"
 	"p3q/internal/sim"
 	"p3q/internal/similarity"
@@ -84,11 +85,23 @@ type Engine struct {
 
 	// planDur and commitDur accumulate the wall-clock time spent in the
 	// parallel planning phases and in the sharded commit phases (including
-	// the canonical ledger merge and the eager querier-side finalize), for
-	// PhaseDurations.
+	// the canonical ledger merge and the eager querier-side finalize) — the
+	// compatibility view behind PhaseDurations; the attached obs registry
+	// additionally keeps per-phase histograms of the same windows.
 	//
 	//p3q:transient host-side telemetry, deliberately outside the checkpoint (see Snapshot)
+	//p3q:hostplane cumulative hostclock phase windows, observability only
 	planDur, commitDur time.Duration
+
+	// obs is the optional telemetry registry (see internal/obs and SetObs).
+	// It strictly observes: sim-plane counters/events are derived from
+	// engine state, host-plane timings from hostclock windows, and nothing
+	// ever flows back — attaching a registry changes no fingerprint, which
+	// the obspurity analyzer enforces statically and the invariance tests
+	// pin dynamically. nil disables collection.
+	//
+	//p3q:transient observes the run, never part of engine state; reattach after restore
+	obs *obs.Registry
 
 	// Pooled per-cycle scratch. Every cycle re-initializes the slots it
 	// uses (a slot's used flag gates the committers), so the only state
@@ -173,6 +186,63 @@ func (e *Engine) Now() time.Duration { return e.now }
 // with synchronous delivery). Frozen events parked at departed nodes do
 // not count until redelivery is scheduled.
 func (e *Engine) PendingEvents() int { return e.events.Len() }
+
+// FrozenEvents returns the number of delivery events parked at departed
+// nodes awaiting redelivery (always 0 with synchronous delivery) — the
+// store-and-forward backlog churn leaves behind.
+func (e *Engine) FrozenEvents() int {
+	n := 0
+	//p3q:orderinvariant sums per-node queue lengths, a commutative reduction
+	for _, evs := range e.frozen {
+		n += len(evs)
+	}
+	return n
+}
+
+// SetObs attaches a telemetry registry (see internal/obs); nil detaches.
+// The registry strictly observes the run: sim-plane counters and query
+// lifecycle events derive only from engine state, host-plane timings only
+// from hostclock windows, and nothing flows back into the engine — so
+// attaching a registry changes no fingerprint.
+func (e *Engine) SetObs(r *obs.Registry) { e.obs = r }
+
+// Obs returns the attached telemetry registry, nil when none is attached.
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// emitQueryEvent emits one sim-plane query lifecycle event to the attached
+// registry. Every argument derives from engine state (the virtual clock,
+// node IDs, ledger byte deltas), and every call site is sequential engine
+// code — issue, the finalize/schedule passes, event application, churn
+// entry points — never a parallel planner or shard committer, so emission
+// order is deterministic.
+func (e *Engine) emitQueryEvent(kind obs.EventKind, qid uint64, at time.Duration, node, peer tagging.UserID, bytes uint64) {
+	if e.obs == nil {
+		return
+	}
+	e.obs.Event(obs.QueryEvent{
+		Kind:  kind,
+		Qid:   qid,
+		Cycle: e.cycleSeq,
+		At:    at,
+		Node:  uint64(node),
+		Peer:  uint64(peer),
+		Bytes: bytes,
+	})
+}
+
+// samplePhase routes one hostclock phase window into the compatibility
+// accumulators behind PhaseDurations and, when a registry is attached,
+// into its host-plane phase histograms.
+//
+//p3q:hostplane
+func (e *Engine) samplePhase(p obs.Phase, d time.Duration) {
+	if p == obs.PhasePlan {
+		e.planDur += d
+	} else {
+		e.commitDur += d
+	}
+	e.obs.SamplePhase(p, d)
+}
 
 // Queries returns every issued query in issue order.
 func (e *Engine) Queries() []*QueryRun {
@@ -282,7 +352,7 @@ func (e *Engine) lazyCycle(cp *LazyCapture) {
 			e.planViewInto(n, seq, p)
 		}
 	})
-	e.planDur += sw.Elapsed()
+	e.samplePhase(obs.PhasePlan, sw.Elapsed())
 	sw = hostclock.Start()
 	e.commitSharded(func(sh *commitShard) {
 		for _, i := range order {
@@ -291,7 +361,7 @@ func (e *Engine) lazyCycle(cp *LazyCapture) {
 			}
 		}
 	})
-	e.commitDur += sw.Elapsed()
+	e.samplePhase(obs.PhaseCommit, sw.Elapsed())
 
 	// Round 2: top-layer personal network gossip plus random-view
 	// evaluation, planned against the round-1-committed views.
@@ -306,7 +376,7 @@ func (e *Engine) lazyCycle(cp *LazyCapture) {
 			e.planTopInto(n, seq, p)
 		}
 	})
-	e.planDur += sw.Elapsed()
+	e.samplePhase(obs.PhasePlan, sw.Elapsed())
 	sw = hostclock.Start()
 	e.commitSharded(func(sh *commitShard) {
 		for _, i := range order {
@@ -315,7 +385,7 @@ func (e *Engine) lazyCycle(cp *LazyCapture) {
 			}
 		}
 	})
-	e.commitDur += sw.Elapsed()
+	e.samplePhase(obs.PhaseCommit, sw.Elapsed())
 	if cp != nil {
 		e.captureLazy(cp, seq, order)
 	}
@@ -327,6 +397,7 @@ func (e *Engine) lazyCycle(cp *LazyCapture) {
 	}
 	e.now = t1
 	e.lazyCycles++
+	e.obs.Inc(obs.CLazyCycles)
 }
 
 // commitShard is one committer of the sharded commit phase. It owns the
@@ -339,6 +410,13 @@ type commitShard struct {
 	lo, hi tagging.UserID
 	ledger sim.Ledger
 	naive  uint64
+
+	// dur is the committer's host wall time for the current phase,
+	// measured only while a telemetry registry is attached; it feeds the
+	// registry's per-shard histograms and the commit-skew samples.
+	//
+	//p3q:hostplane per-shard hostclock window, observability only
+	dur time.Duration
 }
 
 // owns reports whether the node belongs to this shard.
@@ -375,18 +453,34 @@ func (e *Engine) commitSharded(apply func(sh *commitShard)) {
 		shards[i].naive = 0
 		e.net.InitLedger(&shards[i].ledger)
 	}
+	timed := e.obs != nil
 	if workers == 1 {
-		apply(&shards[0])
+		if timed {
+			sw := hostclock.Start()
+			apply(&shards[0])
+			shards[0].dur = sw.Elapsed()
+		} else {
+			apply(&shards[0])
+		}
 	} else {
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for i := range shards {
 			go func(sh *commitShard) {
 				defer wg.Done()
-				apply(sh)
+				if timed {
+					sw := hostclock.Start()
+					apply(sh)
+					sh.dur = sw.Elapsed()
+				} else {
+					apply(sh)
+				}
 			}(&shards[i])
 		}
 		wg.Wait()
+	}
+	if timed {
+		e.sampleShards(shards)
 	}
 	for i := range shards {
 		e.net.Commit(&shards[i].ledger)
@@ -394,12 +488,42 @@ func (e *Engine) commitSharded(apply func(sh *commitShard)) {
 	}
 }
 
+// sampleShards records one commit phase's per-shard telemetry into the
+// attached registry, before the ledgers are folded (Network.Commit empties
+// them): sim-plane per-shard intent bytes and the commit byte total,
+// host-plane per-shard durations and the max-min commit skew — the number
+// the locality-aware scheduling work (ROADMAP) wants to shrink. The
+// intent bytes fed to the sim plane come from the ledger, never from the
+// durations; obspurity holds the function to that.
+//
+//p3q:hostplane min/max scan over shard wall-clock durations
+func (e *Engine) sampleShards(shards []commitShard) {
+	minDur, maxDur := shards[0].dur, shards[0].dur
+	for i := range shards {
+		sh := &shards[i]
+		bytes := sh.ledger.Total().TotalBytes()
+		e.obs.AddShardIntent(i, bytes)
+		e.obs.Add(obs.CCommitBytes, bytes)
+		e.obs.SampleShardDuration(sh.dur)
+		if sh.dur < minDur {
+			minDur = sh.dur
+		}
+		if sh.dur > maxDur {
+			maxDur = sh.dur
+		}
+	}
+	e.obs.SampleCommitSkew(maxDur - minDur)
+}
+
 // PhaseDurations returns the cumulative wall-clock time the engine has
 // spent in the parallel planning phases and in the sharded commit phases
 // (the commit figure includes the canonical ledger merge and the eager
 // querier-side finalize). Benchmarks report the two separately to track
 // how far the commit phase — the historical Amdahl limit of both cycle
-// kinds — has been pushed.
+// kinds — has been pushed. This is the compatibility view of the same
+// windows the attached obs registry histograms per phase (samplePhase).
+//
+//p3q:hostplane
 func (e *Engine) PhaseDurations() (plan, commit time.Duration) {
 	return e.planDur, e.commitDur
 }
@@ -480,7 +604,18 @@ func (e *Engine) RunEager(maxCycles int) int {
 // cycle) identical streams and correlated kill sets.
 func (e *Engine) Kill(frac float64) []tagging.UserID {
 	e.killSeq++
-	return e.net.Kill(frac, e.rng.Split(0xDEAD<<32|e.killSeq))
+	ids := e.net.Kill(frac, e.rng.Split(0xDEAD<<32|e.killSeq))
+	if e.obs != nil {
+		// Queries whose querier just departed are now stalled (the state is
+		// derived from liveness, so this is the transition moment).
+		for _, qid := range e.queryOrder {
+			qr := e.queries[qid]
+			if !qr.done && containsID(ids, qr.Query.Querier) {
+				e.emitQueryEvent(obs.EvStalled, qid, e.now, qr.Query.Querier, 0, 0)
+			}
+		}
+	}
+	return ids
 }
 
 // Revive brings departed nodes back online. A revived node keeps her
@@ -493,6 +628,14 @@ func (e *Engine) Kill(frac float64) []tagging.UserID {
 func (e *Engine) Revive(ids []tagging.UserID) {
 	for _, id := range ids {
 		e.net.SetOnline(id, true)
+	}
+	if e.obs != nil {
+		for _, qid := range e.queryOrder {
+			qr := e.queries[qid]
+			if !qr.done && containsID(ids, qr.Query.Querier) {
+				e.emitQueryEvent(obs.EvResumed, qid, e.now, qr.Query.Querier, 0, 0)
+			}
+		}
 	}
 }
 

@@ -26,9 +26,9 @@ type SharedSnapshot struct {
 	data []byte
 	ds   *trace.Dataset
 
-	coldBuild time.Duration // wall clock of the one cold build captured
-	snapTime  time.Duration // wall clock of taking the snapshot
-	forkTime  time.Duration // accumulated wall clock of all forks
+	coldBuild time.Duration //p3q:hostplane wall clock of the one cold build captured
+	snapTime  time.Duration //p3q:hostplane wall clock of taking the snapshot
+	forkTime  time.Duration //p3q:hostplane accumulated wall clock of all forks
 	forks     int
 }
 
@@ -76,6 +76,8 @@ func (s *SharedSnapshot) MustFork(cc core.Config) *core.Engine {
 // SavingsNote summarizes the measured wall clock of the warm-start scheme
 // versus rebuilding every row cold: n rows cost one cold build plus one
 // snapshot plus n forks, against n cold builds.
+//
+//p3q:hostplane formats wall-clock savings for the experiment log
 func (s *SharedSnapshot) SavingsNote(label string) string {
 	warm := s.coldBuild + s.snapTime + s.forkTime
 	cold := time.Duration(s.forks) * s.coldBuild
@@ -86,6 +88,7 @@ func (s *SharedSnapshot) SavingsNote(label string) string {
 		warm.Round(time.Millisecond), cold.Round(time.Millisecond), (cold - warm).Round(time.Millisecond))
 }
 
+//p3q:hostplane mean fork wall clock for the savings note
 func (s *SharedSnapshot) perFork() time.Duration {
 	if s.forks == 0 {
 		return 0

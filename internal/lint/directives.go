@@ -32,6 +32,11 @@ const (
 	// allocVerb excuses one allocating construct inside a hotpath
 	// function, with a reason.
 	allocVerb = "alloc"
+	// hostplaneVerb marks a struct field or function as host-plane
+	// telemetry: wall-clock derived, observability-only. obspurity then
+	// enforces that host-plane values never reach engine state or the
+	// sim plane of the obs registry.
+	hostplaneVerb = "hostplane"
 )
 
 // verbScopes maps each recognized verb to the package scopes it applies
@@ -45,6 +50,7 @@ var verbScopes = map[string][]string{
 	transientVerb:      SnapshotScopes,
 	hotpathVerb:        HotpathScopes,
 	allocVerb:          HotpathScopes,
+	hostplaneVerb:      DeterministicScopes,
 }
 
 // knownVerbs returns the recognized verbs sorted, for diagnostics.

@@ -1,7 +1,7 @@
-// Package lint is the p3qlint determinism-linter suite: seven static
+// Package lint is the p3qlint determinism-linter suite: eight static
 // analyzers that enforce, at go-vet time, the ordering, clock, RNG,
-// phase, and checkpoint contracts ARCHITECTURE.md otherwise states only
-// in prose. The dynamic half of the safety net — the Workers=1-vs-N
+// phase, telemetry, and checkpoint contracts ARCHITECTURE.md otherwise
+// states only in prose. The dynamic half of the safety net — the Workers=1-vs-N
 // fingerprint tests and the resume-equals-uninterrupted checkpoint tests
 // — catches a determinism violation only after it is written and only on
 // an exercised path; these analyzers reject the idioms that cause them
@@ -37,6 +37,11 @@
 //     constructs (map/slice literals, make/new, fmt calls, string
 //     concatenation, interface boxing) are flagged unless excused by
 //     `//p3q:alloc <reason>`.
+//   - obspurity: host-plane telemetry values (anything rooted in
+//     internal/hostclock or in a `//p3q:hostplane <reason>` field or
+//     function) may not be written into unannotated state, steer engine
+//     control flow, escape as unannotated returns, or enter the sim
+//     plane of the obs registry (Inc/Add/Event/AddShardIntent).
 //
 // Run the suite with `go run ./cmd/p3qlint ./...` (or `make lint`), or as
 // `go vet -vettool=$(which p3qlint) ./...`.
@@ -103,7 +108,7 @@ func inScope(path string, scopes []string) bool {
 
 // Analyzers returns the full p3qlint suite in reporting order.
 func Analyzers() []*analysis.Analyzer {
-	return []*analysis.Analyzer{MapOrder, WallClock, RNGDiscipline, StickyErr, PhasePurity, SnapshotComplete, HotAlloc}
+	return []*analysis.Analyzer{MapOrder, WallClock, RNGDiscipline, StickyErr, PhasePurity, SnapshotComplete, HotAlloc, Obspurity}
 }
 
 // Finding is one diagnostic located in a file, ready for printing.

@@ -1,0 +1,12 @@
+package lint
+
+import (
+	"testing"
+
+	"p3q/internal/lint/analysistest"
+)
+
+func TestObspurity(t *testing.T) {
+	analysistest.Run(t, "testdata", Obspurity,
+		"p3q/internal/core/opfixture")
+}

@@ -3,6 +3,12 @@
 // (§3.2.2, provided by package topk), and average update rate under profile
 // dynamics (§3.4.1) — plus the plain-text table/series rendering used by
 // the experiment harness to print the paper's figures and tables.
+//
+// These are paper-evaluation metrics: protocol-quality measures computed
+// from engine state against an offline oracle, reproduced as experiment
+// outputs. Runtime telemetry — cycle/query counters, phase timings,
+// /metrics scraping — is a different subsystem entirely; see internal/obs
+// and the "Observability" section of ARCHITECTURE.md.
 package metrics
 
 import (

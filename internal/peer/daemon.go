@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"p3q/internal/core"
+	"p3q/internal/obs"
 	"p3q/internal/tagging"
 	"p3q/internal/topk"
 	"p3q/internal/trace"
@@ -120,9 +121,18 @@ type Daemon struct {
 	// lead's own exchange traffic to that member must not queue behind it.
 	peers    []*rpcConn // by daemon index; nil at own index and before Connect
 	ctrl     []*rpcConn
-	counters wireCounters
+	counters [numPlanes]wireCounters
 	serving  sync.WaitGroup
 	accepted connSet
+
+	// obs observes the replica: sim-plane counters mirror engine state,
+	// host-plane histograms time the phases. Attached at Start; all
+	// registry access races with the engine, so readers take d.mu.
+	obs *obs.Registry
+
+	// httpLn serves the opt-in /metrics + pprof endpoint, nil unless
+	// StartHTTP was called.
+	httpLn net.Listener
 
 	// leadMu serializes the lead's cluster operations: cycle broadcasts
 	// and query issues never interleave, which is what makes every
@@ -186,6 +196,11 @@ func New(cfg Config, tr Transport) (*Daemon, error) {
 func (d *Daemon) Start() error {
 	d.ds = trace.Generate(d.cfg.Gen)
 	d.eng = core.New(d.ds, d.cfg.Engine)
+	// Always-on telemetry: attaching the registry is fingerprint-neutral
+	// (pinned by core's invariance tests), and the stats/metrics surfaces
+	// read from it.
+	d.obs = obs.New()
+	d.eng.SetObs(d.obs)
 	d.eng.Bootstrap()
 	ln, err := d.tr.Listen(d.cfg.Addrs[d.cfg.Index])
 	if err != nil {
@@ -193,7 +208,7 @@ func (d *Daemon) Start() error {
 	}
 	d.ln = ln
 	d.serving.Add(1)
-	go serveListener(ln, &d.counters, d.handle, &d.serving, &d.accepted)
+	go serveListener(ln, &d.counters[planeServed], d.handle, &d.serving, &d.accepted)
 	return nil
 }
 
@@ -209,7 +224,7 @@ func (d *Daemon) Connect() error {
 		if i == d.cfg.Index {
 			continue
 		}
-		rc, err := d.dialPeer(addr, i, deadline)
+		rc, err := d.dialPeer(addr, i, deadline, planeData)
 		if err != nil {
 			return err
 		}
@@ -217,7 +232,7 @@ func (d *Daemon) Connect() error {
 		d.peers[i] = rc
 		d.peersMu.Unlock()
 		if d.cfg.Index == 0 {
-			cc, err := d.dialPeer(addr, i, deadline)
+			cc, err := d.dialPeer(addr, i, deadline, planeCtrl)
 			if err != nil {
 				return err
 			}
@@ -230,13 +245,14 @@ func (d *Daemon) Connect() error {
 	return nil
 }
 
-// dialPeer establishes one handshaked link to daemon i.
-func (d *Daemon) dialPeer(addr string, i int, deadline time.Time) (*rpcConn, error) {
+// dialPeer establishes one handshaked link to daemon i on the given
+// connection plane.
+func (d *Daemon) dialPeer(addr string, i int, deadline time.Time, plane int) (*rpcConn, error) {
 	conn, err := d.dialUntil(addr, deadline)
 	if err != nil {
 		return nil, fmt.Errorf("peer: daemon %d dialing daemon %d: %w", d.cfg.Index, i, err)
 	}
-	rc := newRPCConn(conn, &d.counters)
+	rc := newRPCConn(conn, &d.counters[plane])
 	if err := d.handshake(rc, i); err != nil {
 		if cerr := rc.Close(); cerr != nil {
 			err = fmt.Errorf("%w (and closing: %v)", err, cerr)
@@ -295,7 +311,7 @@ func (d *Daemon) gatewayCall(target int, req wire.Msg) (wire.Msg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("peer: gateway dial to daemon %d: %w", target, err)
 	}
-	rc := newRPCConn(conn, &d.counters)
+	rc := newRPCConn(conn, &d.counters[planeGateway])
 	defer func() {
 		if cerr := rc.Close(); cerr != nil {
 			_ = cerr // short-lived conn; remote may close first
@@ -372,6 +388,11 @@ func (d *Daemon) Close() {
 			_ = err // listener already closed
 		}
 	}
+	if d.httpLn != nil {
+		if err := d.httpLn.Close(); err != nil {
+			_ = err // telemetry listener already closed
+		}
+	}
 	d.peersMu.RLock()
 	links := append([]*rpcConn(nil), d.peers...)
 	links = append(links, d.ctrl...)
@@ -398,6 +419,11 @@ func (d *Daemon) Divergence() uint64 { return d.divergence.Load() }
 // Engine exposes the replica for tests and metrics; callers must not
 // mutate it.
 func (d *Daemon) Engine() *core.Engine { return d.eng }
+
+// Obs exposes the daemon's telemetry registry. The registry races with
+// the stepping replica — read it only under the same serialization the
+// daemon uses (see Daemon.mu), or through Metrics/serveStats.
+func (d *Daemon) Obs() *obs.Registry { return d.obs }
 
 func (d *Daemon) hosts(u tagging.UserID) bool { return u >= d.lo && u < d.hi }
 

@@ -299,13 +299,25 @@ func (d *Daemon) clusterQueryBytes(qid uint64) wire.QueryStat {
 func (d *Daemon) serveStats() wire.Msg {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	plan, commit := d.eng.PhaseDurations()
+	_, skewMax, _, _ := d.obs.CommitSkew()
 	resp := &wire.StatsResp{
-		Index:       uint32(d.cfg.Index),
-		LazyCycles:  uint64(d.eng.LazyCycles()),
-		EagerCycles: uint64(d.eng.EagerCycles()),
-		Divergence:  d.divergence.Load(),
-		WireMsgs:    d.counters.msgs.Load(),
-		WireBytes:   d.counters.bytes.Load(),
+		Index:         uint32(d.cfg.Index),
+		LazyCycles:    uint64(d.eng.LazyCycles()),
+		EagerCycles:   uint64(d.eng.EagerCycles()),
+		Divergence:    d.divergence.Load(),
+		FrozenEvents:  uint32(d.eng.FrozenEvents()),
+		PendingEvents: uint32(d.eng.PendingEvents()),
+		PlanNanos:     uint64(plan.Nanoseconds()),
+		CommitNanos:   uint64(commit.Nanoseconds()),
+		SkewMaxNanos:  uint64(skewMax.Nanoseconds()),
+	}
+	planes := []*wire.PlaneStat{&resp.Data, &resp.Ctrl, &resp.Gateway, &resp.Served}
+	for i := range d.counters {
+		planes[i].Msgs = d.counters[i].msgs.Load()
+		planes[i].Bytes = d.counters[i].bytes.Load()
+		resp.WireMsgs += planes[i].Msgs
+		resp.WireBytes += planes[i].Bytes
 	}
 	for _, qid := range d.qsOrder {
 		row := *d.qstats[qid]

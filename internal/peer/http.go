@@ -1,0 +1,89 @@
+package peer
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+)
+
+// StartHTTP exposes the daemon's telemetry over HTTP on addr: a
+// Prometheus text-format /metrics page and the standard /debug/pprof
+// endpoints. It is opt-in — cmd/p3qd wires it up only when -http is
+// given — and never touches the wire protocol: telemetry readers see a
+// consistent snapshot by taking the daemon mutex, exactly like a stats
+// request. The returned address is useful when addr binds port 0. The
+// listener closes with the daemon.
+func (d *Daemon) StartHTTP(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("peer: daemon %d telemetry listen: %w", d.cfg.Index, err)
+	}
+	d.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", d.serveMetrics)
+	// pprof handlers mounted explicitly so nothing leaks onto the
+	// DefaultServeMux of the embedding process.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	d.serving.Add(1)
+	go func() {
+		defer d.serving.Done()
+		if err := srv.Serve(ln); err != nil {
+			_ = err // http.ErrServerClosed or the listener closing at teardown
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// serveMetrics renders the daemon's full telemetry in Prometheus text
+// exposition format: the engine-attached obs registry (sim-plane
+// counters, query lifecycle tallies, host-plane phase histograms)
+// followed by daemon-level series (divergence, event-machine depths,
+// per-plane wire volume).
+func (d *Daemon) serveMetrics(w http.ResponseWriter, _ *http.Request) {
+	var sb strings.Builder
+
+	// The registry and the engine race with cycle stepping; snapshot both
+	// under the same mutex that serializes the replica.
+	d.mu.Lock()
+	d.obs.SampleMemStats()
+	d.obs.WritePrometheus(&sb)
+	frozen := d.eng.FrozenEvents()
+	pending := d.eng.PendingEvents()
+	d.mu.Unlock()
+
+	fmt.Fprintf(&sb, "# HELP p3q_daemon_index This daemon's position in the cluster (0 is the lead).\n")
+	fmt.Fprintf(&sb, "# TYPE p3q_daemon_index gauge\n")
+	fmt.Fprintf(&sb, "p3q_daemon_index %d\n", d.cfg.Index)
+	fmt.Fprintf(&sb, "# HELP p3q_divergence_total Wire responses that contradicted the local replica.\n")
+	fmt.Fprintf(&sb, "# TYPE p3q_divergence_total counter\n")
+	fmt.Fprintf(&sb, "p3q_divergence_total %d\n", d.divergence.Load())
+	fmt.Fprintf(&sb, "# HELP p3q_frozen_events Deliveries frozen at offline nodes.\n")
+	fmt.Fprintf(&sb, "# TYPE p3q_frozen_events gauge\n")
+	fmt.Fprintf(&sb, "p3q_frozen_events %d\n", frozen)
+	fmt.Fprintf(&sb, "# HELP p3q_pending_events In-flight deliveries in the event queue.\n")
+	fmt.Fprintf(&sb, "# TYPE p3q_pending_events gauge\n")
+	fmt.Fprintf(&sb, "p3q_pending_events %d\n", pending)
+	fmt.Fprintf(&sb, "# HELP p3q_wire_msgs_total Wire messages sent, by connection plane.\n")
+	fmt.Fprintf(&sb, "# TYPE p3q_wire_msgs_total counter\n")
+	for i := range d.counters {
+		fmt.Fprintf(&sb, "p3q_wire_msgs_total{plane=%q} %d\n", planeNames[i], d.counters[i].msgs.Load())
+	}
+	fmt.Fprintf(&sb, "# HELP p3q_wire_bytes_total Bytes put on the wire, by connection plane.\n")
+	fmt.Fprintf(&sb, "# TYPE p3q_wire_bytes_total counter\n")
+	for i := range d.counters {
+		fmt.Fprintf(&sb, "p3q_wire_bytes_total{plane=%q} %d\n", planeNames[i], d.counters[i].bytes.Load())
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := fmt.Fprint(w, sb.String()); err != nil {
+		_ = err // scraper hung up mid-page
+	}
+}

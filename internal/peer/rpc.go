@@ -9,8 +9,24 @@ import (
 	"p3q/internal/wire"
 )
 
-// wireCounters tallies raw wire volume. Every daemon owns one; all of its
-// connections (dialed and accepted) report into it.
+// Connection planes. A daemon tallies each plane's wire volume
+// separately so the stats surface shows where the bytes go: data links
+// carry the exchange conversations, ctrl the lead's lockstep broadcasts,
+// gateway the short-lived relays, and served is the accepted side of
+// every plane (a daemon cannot tell which plane an inbound dial belongs
+// to until the conversation starts, so inbound volume pools).
+const (
+	planeData = iota
+	planeCtrl
+	planeGateway
+	planeServed
+	numPlanes
+)
+
+// planeNames label the planes on the /metrics page.
+var planeNames = [numPlanes]string{"data", "ctrl", "gateway", "served"}
+
+// wireCounters tallies raw wire volume for one connection plane.
 type wireCounters struct {
 	msgs  atomic.Uint64
 	bytes atomic.Uint64

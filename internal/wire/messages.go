@@ -690,21 +690,56 @@ type QueryStat struct {
 	Maintenance    uint64
 }
 
+// PlaneStat is one connection plane's raw wire tally.
+type PlaneStat struct {
+	Msgs  uint64
+	Bytes uint64
+}
+
 // StatsResp reports a daemon's counters: cycles stepped, divergence
 // detections (peer responses contradicting the local replica), raw wire
-// volume, and the per-query traffic tallies this daemon attributed from
-// the exchanges its hosted initiators ran.
+// volume — total and split by connection plane — the replica's
+// event-machine depths, cumulative hostclock phase windows, and the
+// per-query traffic tallies this daemon attributed from the exchanges
+// its hosted initiators ran.
 type StatsResp struct {
 	Index       uint32
 	LazyCycles  uint64
 	EagerCycles uint64
 	Divergence  uint64
-	WireMsgs    uint64
+	WireMsgs    uint64 // total across planes, both directions
 	WireBytes   uint64
-	Queries     []QueryStat
+
+	// Replica event-machine depths at answer time.
+	FrozenEvents  uint32 // deliveries frozen at offline nodes
+	PendingEvents uint32 // in-flight deliveries in the event queue
+
+	// Cumulative hostclock phase windows (observability only; these never
+	// feed back into replica state).
+	PlanNanos    uint64
+	CommitNanos  uint64
+	SkewMaxNanos uint64 // worst per-cycle commit skew across shards
+
+	// Raw wire volume by connection plane. Data/Ctrl/Gateway count this
+	// daemon's dialed links; Served counts its accepted side of all planes.
+	Data    PlaneStat
+	Ctrl    PlaneStat
+	Gateway PlaneStat
+	Served  PlaneStat
+
+	Queries []QueryStat
 }
 
 func (*StatsResp) WireType() Type { return TypeStatsResp }
+
+func encodePlane(w *Writer, p PlaneStat) {
+	w.U64(p.Msgs)
+	w.U64(p.Bytes)
+}
+
+func decodePlane(r *Reader) PlaneStat {
+	return PlaneStat{Msgs: r.U64(), Bytes: r.U64()}
+}
 
 func (m *StatsResp) encode(w *Writer) {
 	w.U32(m.Index)
@@ -713,6 +748,15 @@ func (m *StatsResp) encode(w *Writer) {
 	w.U64(m.Divergence)
 	w.U64(m.WireMsgs)
 	w.U64(m.WireBytes)
+	w.U32(m.FrozenEvents)
+	w.U32(m.PendingEvents)
+	w.U64(m.PlanNanos)
+	w.U64(m.CommitNanos)
+	w.U64(m.SkewMaxNanos)
+	encodePlane(w, m.Data)
+	encodePlane(w, m.Ctrl)
+	encodePlane(w, m.Gateway)
+	encodePlane(w, m.Served)
 	w.Count(len(m.Queries))
 	for _, q := range m.Queries {
 		w.U64(q.Qid)
@@ -731,6 +775,15 @@ func (m *StatsResp) decode(r *Reader) {
 	m.Divergence = r.U64()
 	m.WireMsgs = r.U64()
 	m.WireBytes = r.U64()
+	m.FrozenEvents = r.U32()
+	m.PendingEvents = r.U32()
+	m.PlanNanos = r.U64()
+	m.CommitNanos = r.U64()
+	m.SkewMaxNanos = r.U64()
+	m.Data = decodePlane(r)
+	m.Ctrl = decodePlane(r)
+	m.Gateway = decodePlane(r)
+	m.Served = decodePlane(r)
 	n := r.Count(MaxQueryEntries)
 	if n == 0 {
 		return

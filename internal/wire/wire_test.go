@@ -60,6 +60,12 @@ func sampleMessages() []Msg {
 		&StatsResp{
 			Index: 1, LazyCycles: 30, EagerCycles: 12, Divergence: 0,
 			WireMsgs: 210, WireBytes: 68000,
+			FrozenEvents: 3, PendingEvents: 8,
+			PlanNanos: 1_200_000, CommitNanos: 950_000, SkewMaxNanos: 40_000,
+			Data:    PlaneStat{Msgs: 150, Bytes: 50000},
+			Ctrl:    PlaneStat{Msgs: 40, Bytes: 12000},
+			Gateway: PlaneStat{Msgs: 20, Bytes: 6000},
+			Served:  PlaneStat{Msgs: 180, Bytes: 61000},
 			Queries: []QueryStat{
 				{Qid: 1, Done: true, Forwarded: 640, Returned: 320, PartialResults: 480, Maintenance: 4096},
 				{Qid: 2, Done: false, Forwarded: 120},
